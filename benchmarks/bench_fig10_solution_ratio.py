@@ -1,0 +1,65 @@
+"""Figure 10 — compression ratio of Solutions A-D under relative error bounds.
+
+Paper findings on qaoa_36 / sup_36: the SZ variants (A, B) trail the new
+bit-plane pipelines (C, D) by roughly 30-50%, and C and D are comparable to
+each other.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.compression import get_compressor, roundtrip
+
+LEVELS = (1e-1, 1e-2, 1e-3, 1e-4, 1e-5)
+SOLUTIONS = ("A", "B", "C", "D")
+
+
+def _ratios(data: np.ndarray) -> list[dict]:
+    rows = []
+    for level in LEVELS:
+        row: dict = {"rel_error_bound": f"{level:g}"}
+        for solution in SOLUTIONS:
+            _, record = roundtrip(get_compressor(solution, bound=level), data)
+            row[f"Sol.{solution}"] = record.ratio
+        rows.append(row)
+    return rows
+
+
+def test_fig10_solution_compression_ratio(benchmark, emit, qaoa_snapshot, sup_snapshot):
+    qaoa_rows = _ratios(qaoa_snapshot)
+    sup_rows = _ratios(sup_snapshot)
+    benchmark.pedantic(
+        lambda: roundtrip(get_compressor("C", bound=1e-3), sup_snapshot),
+        rounds=1,
+        iterations=1,
+    )
+
+    emit(
+        "Figure 10: compression ratio of Solutions A-D (pointwise relative error)",
+        "qaoa snapshot\n"
+        + format_table(qaoa_rows)
+        + "\n\nsup snapshot\n"
+        + format_table(sup_rows)
+        + "\n\npaper shape: C and D lead A and B by ~30-50% and are comparable"
+        "\nto each other; looser bounds always compress better.  On the scaled-"
+        "\ndown snapshots the C/D-vs-A/B lead is reproduced on the entangled"
+        "\n(sup) data and at the tight bounds of the qaoa data; at loose bounds"
+        "\non qaoa the SZ variants pull ahead (the 2^14 state has less byte-"
+        "\nlevel redundancy than 2^36 -- recorded in EXPERIMENTS.md).",
+    )
+
+    for rows in (qaoa_rows, sup_rows):
+        for row in rows:
+            # C and D are comparable (within 20% of each other), as in Fig 10.
+            assert abs(row["Sol.C"] - row["Sol.D"]) / max(row["Sol.C"], row["Sol.D"]) < 0.2
+        # Where SZ's prediction pipeline collapses (tightest bound), the
+        # bit-plane pipeline keeps working — the core of the paper's argument.
+        tightest = rows[-1]
+        assert max(tightest["Sol.C"], tightest["Sol.D"]) > max(
+            tightest["Sol.A"], tightest["Sol.B"]
+        )
+    # On the entangled snapshot C/D are at least competitive at every bound.
+    for row in sup_rows:
+        assert max(row["Sol.C"], row["Sol.D"]) > 0.9 * max(row["Sol.A"], row["Sol.B"])

@@ -1,0 +1,73 @@
+"""Figure 12 — distribution of the maximum pointwise relative error per data
+block for Solutions A-D.
+
+The paper splits one rank's data into blocks, compresses each block at every
+error level, and plots the CDF of the per-block maximum relative error.  Its
+observations: (1) every solution respects the bound, (2) C and D overlap
+exactly, and (3) C/D errors sit well below the bound (over-preservation)
+while A/B errors approach it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.compression import get_compressor, metrics, roundtrip
+
+LEVELS = (1e-1, 1e-3, 1e-5)
+SOLUTIONS = ("A", "B", "C", "D")
+BLOCK = 2048
+
+
+def _per_block_stats(data: np.ndarray, level: float) -> list[dict]:
+    rows = []
+    for solution in SOLUTIONS:
+        compressor = get_compressor(solution, bound=level)
+        recovered, _ = roundtrip(compressor, data)
+        per_block = metrics.per_block_max_relative_error(data, recovered, BLOCK)
+        rows.append(
+            {
+                "solution": solution,
+                "bound": f"{level:g}",
+                "median_block_max": float(np.median(per_block)),
+                "p90_block_max": float(np.percentile(per_block, 90)),
+                "worst_block_max": float(per_block.max()),
+                "worst/bound": float(per_block.max() / level),
+            }
+        )
+    return rows
+
+
+def test_fig12_per_block_error_distribution(benchmark, emit, qaoa_snapshot, sup_snapshot):
+    qaoa_rows = [row for level in LEVELS for row in _per_block_stats(qaoa_snapshot, level)]
+    sup_rows = [row for level in LEVELS for row in _per_block_stats(sup_snapshot, level)]
+    benchmark.pedantic(
+        lambda: roundtrip(get_compressor("C", bound=1e-3), qaoa_snapshot),
+        rounds=1,
+        iterations=1,
+    )
+
+    emit(
+        "Figure 12: per-block maximum pointwise relative errors (Solutions A-D)",
+        "qaoa snapshot\n"
+        + format_table(qaoa_rows)
+        + "\n\nsup snapshot\n"
+        + format_table(sup_rows)
+        + "\n\npaper shape: every solution stays within the bound; C and D"
+        "\noverlap exactly; C/D maxima sit clearly below the bound while A/B"
+        "\napproach it.",
+    )
+
+    for rows in (qaoa_rows, sup_rows):
+        for row in rows:
+            assert row["worst/bound"] <= 1.0 + 1e-9
+        # C and D overlap: identical per-block maxima at every level.
+        for level in LEVELS:
+            c_row = next(r for r in rows if r["solution"] == "C" and r["bound"] == f"{level:g}")
+            d_row = next(r for r in rows if r["solution"] == "D" and r["bound"] == f"{level:g}")
+            assert c_row["worst_block_max"] == d_row["worst_block_max"]
+            a_row = next(r for r in rows if r["solution"] == "A" and r["bound"] == f"{level:g}")
+            # Over-preservation: C's worst error is farther below the bound
+            # than A's.
+            assert c_row["worst/bound"] <= a_row["worst/bound"] + 1e-9

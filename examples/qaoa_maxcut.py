@@ -1,0 +1,70 @@
+"""QAOA MAXCUT on a random 4-regular graph through the compressed simulator.
+
+QAOA is the paper's NISQ-era benchmark: a hybrid algorithm whose circuits are
+moderately entangling and whose output only needs to be sampled, which makes
+it robust to the small lossy error the compression introduces.  The example
+runs one QAOA layer over a small angle grid, entirely on the compressed
+simulator, and reports the best average cut found versus the exact optimum.
+
+Run with:  python examples/qaoa_maxcut.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import CompressedSimulator, SimulatorConfig
+from repro.applications import (
+    expected_cut_from_counts,
+    maxcut_value,
+    qaoa_maxcut_circuit,
+    random_regular_graph,
+)
+
+
+def run_angles(graph, gamma: float, beta: float, shots: int = 400) -> float:
+    """Average sampled cut size for one (gamma, beta) pair."""
+
+    num_qubits = graph.number_of_nodes()
+    circuit = qaoa_maxcut_circuit(graph, [gamma], [beta])
+    config = SimulatorConfig(
+        num_ranks=2,
+        start_lossless=False,          # exercise the lossy pipeline
+        error_levels=(1e-3, 1e-2, 1e-1),
+    )
+    simulator = CompressedSimulator(num_qubits, config)
+    simulator.apply_circuit(circuit)
+    counts = simulator.sample_counts(shots, rng=np.random.default_rng(7))
+    return expected_cut_from_counts(graph, counts)
+
+
+def main() -> None:
+    num_qubits = 12
+    graph = random_regular_graph(num_qubits, degree=4, seed=23)
+    optimum = maxcut_value(graph)
+    print(
+        f"QAOA MAXCUT: {num_qubits}-node random 4-regular graph, "
+        f"{graph.number_of_edges()} edges, exact MAXCUT = {optimum}"
+    )
+    print("compressed simulation with Solution C at a 1e-3 relative bound\n")
+
+    best = (0.0, None)
+    for gamma in (0.2, 0.4, 0.6):
+        for beta in (0.4, 0.8, 1.2):
+            average_cut = run_angles(graph, gamma, beta)
+            marker = ""
+            if average_cut > best[0]:
+                best = (average_cut, (gamma, beta))
+                marker = "  <- best so far"
+            print(f"gamma={gamma:.1f} beta={beta:.1f}: average cut {average_cut:5.2f}{marker}")
+
+    average, angles = best
+    print(
+        f"\nbest angles {angles}: average cut {average:.2f} "
+        f"({average / optimum:.0%} of the optimum, "
+        f"random guessing gives {graph.number_of_edges() / 2 / optimum:.0%})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Deep-circuit accuracy study: QFT under every lossy error level.
+
+The QFT is the paper's deep-circuit benchmark (Table 2's last column): its
+gate count grows quadratically with the register, so lossy error accumulates
+over many more compressions than in the other workloads.  This example runs
+the same QFT at each of the paper's five error levels, compares the measured
+fidelity against the analytic lower bound ``(1 - delta)^gates`` (Figure 6),
+and shows that the bound is honoured and increasingly loose.
+
+Run with:  python examples/qft_deep_circuit.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import CompressedSimulator, SimulatorConfig, simulate_statevector
+from repro.applications import qft_benchmark_circuit
+from repro.compression.interface import PAPER_ERROR_LEVELS
+
+
+def main() -> None:
+    num_qubits = 12
+    circuit = qft_benchmark_circuit(num_qubits, seed=3)
+    print(f"QFT benchmark: {num_qubits} qubits, {len(circuit)} gates")
+
+    reference = simulate_statevector(circuit)
+
+    print(f"{'error bound':>12} {'fidelity bound':>15} {'measured fidelity':>18}")
+    for bound in PAPER_ERROR_LEVELS:
+        config = SimulatorConfig(
+            num_ranks=2,
+            start_lossless=False,
+            error_levels=(bound,),
+            use_block_cache=False,
+        )
+        simulator = CompressedSimulator(num_qubits, config)
+        report = simulator.apply_circuit(circuit)
+        fidelity = simulator.fidelity_vs(reference)
+        print(
+            f"{bound:12g} {report.fidelity_lower_bound:15.6f} {fidelity:18.12f}"
+        )
+
+    print(
+        "\nThe measured fidelity always sits above the (1 - delta)^g lower bound;"
+        "\nthe truncation errors over-preserve (Figure 13/14), so even the 1e-1"
+        "\nlevel retains far more fidelity than the worst case."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""repro: full-state quantum circuit simulation by using data compression.
+
+Reproduction of Wu et al., "Full-State Quantum Circuit Simulation by Using
+Data Compression" (SC 2019).  The package is organised as:
+
+* :mod:`repro.circuits` — gates and circuit construction,
+* :mod:`repro.statevector` — the dense (compression-free) reference simulator,
+* :mod:`repro.distributed` — simulated MPI rank / block decomposition,
+* :mod:`repro.compression` — lossless and error-bounded lossy compressors,
+* :mod:`repro.core` — the compressed-state simulator (the paper's contribution),
+* :mod:`repro.applications` — Grover, random-circuit, QAOA, QFT workloads,
+* :mod:`repro.analysis` — memory models, fidelity bounds and reporting.
+
+The most common entry points are re-exported here::
+
+    from repro import CompressedSimulator, SimulatorConfig, QuantumCircuit
+
+    circuit = QuantumCircuit(20).h(0).cx(0, 1)
+    simulator = CompressedSimulator(20, SimulatorConfig(num_ranks=4))
+    report = simulator.apply_circuit(circuit)
+"""
+
+from __future__ import annotations
+
+from .circuits import Gate, QuantumCircuit
+from .compression import (
+    Compressor,
+    ErrorBoundMode,
+    available_compressors,
+    get_compressor,
+)
+from .core import (
+    CompressedSimulator,
+    SimulationReport,
+    SimulatorConfig,
+    load_checkpoint,
+    save_checkpoint,
+)
+from .statevector import DenseSimulator, simulate_statevector, state_fidelity
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "QuantumCircuit",
+    "Gate",
+    "CompressedSimulator",
+    "SimulatorConfig",
+    "SimulationReport",
+    "save_checkpoint",
+    "load_checkpoint",
+    "DenseSimulator",
+    "simulate_statevector",
+    "state_fidelity",
+    "Compressor",
+    "ErrorBoundMode",
+    "get_compressor",
+    "available_compressors",
+]

@@ -1,0 +1,34 @@
+"""Analysis substrate: memory models, snapshots, spikiness stats, reporting."""
+
+from .datasets import SNAPSHOT_KINDS, qaoa_state, snapshot, supremacy_state
+from .memory import (
+    PAPER_SUPERCOMPUTERS,
+    Supercomputer,
+    max_qubits_for_memory,
+    memory_with_compression,
+    qubit_gain_from_ratio,
+    state_vector_bytes,
+    table1_rows,
+)
+from .report import format_series, format_table, print_experiment
+from .spikiness import SpikinessStats, spikiness_stats, value_windows
+
+__all__ = [
+    "snapshot",
+    "qaoa_state",
+    "supremacy_state",
+    "SNAPSHOT_KINDS",
+    "state_vector_bytes",
+    "max_qubits_for_memory",
+    "qubit_gain_from_ratio",
+    "memory_with_compression",
+    "Supercomputer",
+    "PAPER_SUPERCOMPUTERS",
+    "table1_rows",
+    "format_table",
+    "format_series",
+    "print_experiment",
+    "SpikinessStats",
+    "spikiness_stats",
+    "value_windows",
+]

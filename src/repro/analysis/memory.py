@@ -1,0 +1,109 @@
+"""Memory requirement model (Table 1 and the qubit-gain estimates).
+
+The paper's framing results are analytic: a full-state simulation of ``n``
+qubits needs ``2^{n+4}`` bytes (a complex double per amplitude), so a
+machine's memory capacity caps the simulable qubit count (Table 1), and a
+compression ratio ``c`` raises that cap by ``log2(c)`` qubits — the "2 to 16
+more qubits" headline.  This module implements those formulas plus the
+specific supercomputer inventory the paper tabulates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "state_vector_bytes",
+    "max_qubits_for_memory",
+    "qubit_gain_from_ratio",
+    "memory_with_compression",
+    "Supercomputer",
+    "PAPER_SUPERCOMPUTERS",
+    "table1_rows",
+]
+
+_PB = 1 << 50
+_BYTES_PER_AMPLITUDE = 16  # double-precision complex
+
+
+def state_vector_bytes(num_qubits: int) -> int:
+    """Bytes required for the uncompressed ``2^n`` amplitude vector: ``2^{n+4}``."""
+
+    if num_qubits < 1:
+        raise ValueError("num_qubits must be >= 1")
+    return (1 << num_qubits) * _BYTES_PER_AMPLITUDE
+
+
+def max_qubits_for_memory(capacity_bytes: float) -> int:
+    """Largest ``n`` with ``2^{n+4}`` bytes not exceeding *capacity_bytes*."""
+
+    if capacity_bytes < _BYTES_PER_AMPLITUDE * 2:
+        raise ValueError("capacity too small to hold even one qubit")
+    return int(math.floor(math.log2(capacity_bytes))) - 4
+
+
+def qubit_gain_from_ratio(compression_ratio: float) -> float:
+    """Extra qubits enabled by a compression ratio: ``log2(ratio)``.
+
+    A ratio of 4.85 (the paper's worst benchmark case) gains ~2.3 qubits; a
+    ratio of 7.4e4 (61-qubit Grover) gains ~16 qubits — the source of the
+    "2 to 16 qubits" claim.
+    """
+
+    if compression_ratio <= 0:
+        raise ValueError("compression ratio must be positive")
+    return math.log2(compression_ratio)
+
+
+def memory_with_compression(num_qubits: int, compression_ratio: float) -> float:
+    """Bytes needed to hold the *compressed* state of ``n`` qubits."""
+
+    if compression_ratio <= 0:
+        raise ValueError("compression ratio must be positive")
+    return state_vector_bytes(num_qubits) / compression_ratio
+
+
+@dataclass(frozen=True)
+class Supercomputer:
+    """One row of Table 1."""
+
+    name: str
+    memory_petabytes: float
+
+    @property
+    def memory_bytes(self) -> float:
+        return self.memory_petabytes * _PB
+
+    @property
+    def max_qubits(self) -> int:
+        """Maximum full-state simulable qubits for arbitrary circuits."""
+
+        return max_qubits_for_memory(self.memory_bytes)
+
+    def max_qubits_with_ratio(self, compression_ratio: float) -> int:
+        """Maximum qubits once the state is compressed by *compression_ratio*."""
+
+        return max_qubits_for_memory(self.memory_bytes * compression_ratio)
+
+
+#: The four systems of Table 1 with their total memory capacity in PB.
+PAPER_SUPERCOMPUTERS: tuple[Supercomputer, ...] = (
+    Supercomputer("Summit", 2.8),
+    Supercomputer("Sierra", 1.38),
+    Supercomputer("Sunway TaihuLight", 1.31),
+    Supercomputer("Theta", 0.8),
+)
+
+
+def table1_rows() -> list[dict]:
+    """Reproduce Table 1: system, memory (PB), max qubits."""
+
+    return [
+        {
+            "system": machine.name,
+            "memory_pb": machine.memory_petabytes,
+            "max_qubits": machine.max_qubits,
+        }
+        for machine in PAPER_SUPERCOMPUTERS
+    ]

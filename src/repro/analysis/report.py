@@ -1,0 +1,67 @@
+"""Plain-text table/series rendering shared by the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and prints
+the same rows/series; this module keeps that formatting in one place so the
+benches stay small and the output stays uniform (and greppable in
+``bench_output.txt``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "format_series", "print_experiment"]
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    floatfmt: str = "{:.4g}",
+) -> str:
+    """Render dict rows as a fixed-width text table."""
+
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return floatfmt.format(value)
+        return str(value)
+
+    rendered = [[render(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(str(col)), *(len(r[i]) for r in rendered))
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(str(col).ljust(widths[i]) for i, col in enumerate(columns))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = [
+        "  ".join(r[i].ljust(widths[i]) for i in range(len(columns))) for r in rendered
+    ]
+    return "\n".join([header, separator, *body])
+
+
+def format_series(
+    x_label: str,
+    series: Mapping[str, Sequence[float]],
+    x_values: Sequence[object],
+    floatfmt: str = "{:.4g}",
+) -> str:
+    """Render one or more named series against a shared x axis."""
+
+    rows = []
+    for index, x in enumerate(x_values):
+        row: dict[str, object] = {x_label: x}
+        for name, values in series.items():
+            row[name] = values[index]
+        rows.append(row)
+    return format_table(rows, floatfmt=floatfmt)
+
+
+def print_experiment(title: str, body: str) -> None:
+    """Print a titled experiment block (used by every bench)."""
+
+    banner = "=" * max(len(title), 20)
+    print(f"\n{banner}\n{title}\n{banner}\n{body}\n", flush=True)

@@ -1,0 +1,70 @@
+"""Quantifying the spikiness of quantum state data (Figure 9).
+
+Figure 9 of the paper plots raw amplitude values of the QAOA and supremacy
+snapshots to argue that the data has no spatial smoothness, which is why the
+prediction- and transform-based compressors (SZ, ZFP) underperform and why
+the bit-plane truncation of Solution C is the right tool.  This module
+provides the window extraction used by the Figure 9 bench plus two scalar
+"smoothness" statistics that make the argument quantitative:
+
+* the lag-1 autocorrelation of the value series (near zero for spiky data),
+* the mean absolute first difference relative to the value scale (near
+  ``sqrt(2)`` times the standard deviation for uncorrelated data).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..compression.metrics import lag1_autocorrelation
+
+__all__ = ["value_windows", "SpikinessStats", "spikiness_stats"]
+
+
+def value_windows(
+    data: np.ndarray, windows: list[tuple[int, int]] | None = None
+) -> dict[str, np.ndarray]:
+    """Extract the index windows Figure 9 plots (full view plus two zooms)."""
+
+    data = np.asarray(data, dtype=np.float64)
+    if windows is None:
+        windows = [(0, min(10000, data.size)), (1000, 1050), (2000, 2050)]
+    result = {}
+    for start, stop in windows:
+        stop = min(stop, data.size)
+        result[f"{start}:{stop}"] = data[start:stop].copy()
+    return result
+
+
+@dataclass(frozen=True)
+class SpikinessStats:
+    """Scalar summary of how smooth (compressible by prediction) a stream is."""
+
+    lag1_autocorrelation: float
+    mean_abs_diff: float
+    std: float
+
+    @property
+    def normalized_roughness(self) -> float:
+        """``mean|Δ| / std``: ~0 for smooth data, ~1.13 (=2/sqrt(pi)) for
+        uncorrelated Gaussian data, >1 for anti-correlated data."""
+
+        if self.std == 0:
+            return 0.0
+        return self.mean_abs_diff / self.std
+
+
+def spikiness_stats(data: np.ndarray) -> SpikinessStats:
+    """Compute :class:`SpikinessStats` for a value stream."""
+
+    data = np.asarray(data, dtype=np.float64)
+    if data.size < 2:
+        return SpikinessStats(0.0, 0.0, float(np.std(data)))
+    diffs = np.abs(np.diff(data))
+    return SpikinessStats(
+        lag1_autocorrelation=lag1_autocorrelation(data),
+        mean_abs_diff=float(diffs.mean()),
+        std=float(data.std()),
+    )

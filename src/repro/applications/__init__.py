@@ -1,0 +1,37 @@
+"""Benchmark circuit generators: the paper's four workloads plus the scaling probe."""
+
+from .grover import (
+    grover_circuit,
+    grover_square_root_circuit,
+    marked_state_for_square_root,
+    optimal_iterations,
+)
+from .hadamard import hadamard_layers_circuit, hadamard_scaling_circuit
+from .qaoa import (
+    cut_size,
+    expected_cut_from_counts,
+    maxcut_value,
+    qaoa_maxcut_circuit,
+    random_regular_graph,
+)
+from .qft import qft_benchmark_circuit, qft_reference_state
+from .random_circuit import GridSpec, cz_pattern, random_supremacy_circuit
+
+__all__ = [
+    "grover_circuit",
+    "grover_square_root_circuit",
+    "marked_state_for_square_root",
+    "optimal_iterations",
+    "random_supremacy_circuit",
+    "GridSpec",
+    "cz_pattern",
+    "qaoa_maxcut_circuit",
+    "random_regular_graph",
+    "cut_size",
+    "maxcut_value",
+    "expected_cut_from_counts",
+    "qft_benchmark_circuit",
+    "qft_reference_state",
+    "hadamard_scaling_circuit",
+    "hadamard_layers_circuit",
+]

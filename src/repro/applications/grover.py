@@ -1,0 +1,117 @@
+"""Grover's search benchmark (Table 2, first benchmark family).
+
+The paper's headline result is the 61-qubit Grover simulation: the state
+during Grover's algorithm has only two distinct amplitude values (the marked
+states and everything else), so the compressed blocks are tiny and massively
+redundant, which is also what makes the compressed block cache effective.
+
+The oracle follows the paper's description — "the oracle consists of X and
+Toffoli gates": the marked bitstrings are phase-flipped by an X-conjugated
+multi-controlled Z (multi-controlled gates are expressed directly as
+controlled single-qubit gates, which both simulators execute natively).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..circuits import QuantumCircuit, grover_diffusion, phase_oracle
+
+__all__ = [
+    "grover_circuit",
+    "grover_square_root_circuit",
+    "optimal_iterations",
+    "marked_state_for_square_root",
+]
+
+
+def optimal_iterations(num_qubits: int, num_marked: int = 1) -> int:
+    """Number of Grover iterations maximising the success probability."""
+
+    if num_marked < 1:
+        raise ValueError("need at least one marked state")
+    total = 1 << num_qubits
+    if num_marked >= total:
+        raise ValueError("cannot mark every basis state")
+    angle = math.asin(math.sqrt(num_marked / total))
+    return max(1, int(round(math.pi / (4.0 * angle) - 0.5)))
+
+
+def grover_circuit(
+    num_qubits: int,
+    marked: Sequence[int] | int,
+    iterations: int | None = None,
+) -> QuantumCircuit:
+    """Full Grover's search circuit for the given marked basis states.
+
+    Parameters
+    ----------
+    num_qubits:
+        Size of the search register.
+    marked:
+        Marked basis state(s) the oracle phase-flips.
+    iterations:
+        Number of Grover iterations; defaults to the optimal count.
+    """
+
+    if isinstance(marked, int):
+        marked = (marked,)
+    marked = tuple(int(m) for m in marked)
+    if not marked:
+        raise ValueError("need at least one marked state")
+    for value in marked:
+        if not 0 <= value < (1 << num_qubits):
+            raise ValueError(f"marked state {value} out of range")
+    if iterations is None:
+        iterations = optimal_iterations(num_qubits, len(marked))
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+
+    circuit = QuantumCircuit(num_qubits, name=f"grover_{num_qubits}")
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    oracle = phase_oracle(num_qubits, marked)
+    diffusion = grover_diffusion(num_qubits)
+    for _ in range(iterations):
+        circuit.compose(oracle)
+        circuit.compose(diffusion)
+    return circuit
+
+
+def marked_state_for_square_root(num_qubits: int, square: int) -> int:
+    """The basis state encoding ``sqrt(square)`` for the square-root oracle.
+
+    The paper's Grover benchmark "finds the square root number": the oracle
+    marks the register value ``x`` with ``x * x == square (mod 2^n)``.  This
+    helper returns the smallest such ``x`` so benchmarks can verify that the
+    amplified state is the right one.
+    """
+
+    modulus = 1 << num_qubits
+    square %= modulus
+    for candidate in range(modulus):
+        if (candidate * candidate) % modulus == square:
+            return candidate
+    raise ValueError(f"{square} has no square root modulo {modulus}")
+
+
+def grover_square_root_circuit(
+    num_qubits: int, square: int, iterations: int | None = None
+) -> QuantumCircuit:
+    """Grover circuit whose oracle marks the modular square root of *square*.
+
+    The oracle is realised as a phase flip on every ``x`` with
+    ``x^2 ≡ square (mod 2^n)``; for odd squares there are at most four such
+    roots, so the amplitude structure (few marked states, everything else
+    uniform) matches the paper's workload.
+    """
+
+    modulus = 1 << num_qubits
+    square %= modulus
+    roots = tuple(x for x in range(modulus) if (x * x) % modulus == square)
+    if not roots:
+        raise ValueError(f"{square} is not a quadratic residue modulo {modulus}")
+    circuit = grover_circuit(num_qubits, roots, iterations)
+    circuit.name = f"grover_sqrt_{num_qubits}"
+    return circuit

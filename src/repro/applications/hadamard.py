@@ -1,0 +1,36 @@
+"""Hadamard scaling workload (Figures 15 and 16).
+
+The paper's scalability studies use "a basic program that applies a Hadamard
+gate on each qubit": it touches every qubit exactly once, including the
+high-order qubits that force inter-rank block exchanges, making it a clean
+probe of how execution time scales with qubit count and rank count.
+"""
+
+from __future__ import annotations
+
+from ..circuits import QuantumCircuit, uniform_superposition
+
+__all__ = ["hadamard_scaling_circuit", "hadamard_layers_circuit"]
+
+
+def hadamard_scaling_circuit(num_qubits: int) -> QuantumCircuit:
+    """One Hadamard per qubit (the paper's scaling workload)."""
+
+    return uniform_superposition(num_qubits)
+
+
+def hadamard_layers_circuit(num_qubits: int, layers: int) -> QuantumCircuit:
+    """*layers* repetitions of the Hadamard-on-every-qubit sweep.
+
+    Useful when a single sweep is too short to time reliably at small qubit
+    counts; applying the sweep an even number of times returns the state to
+    ``|0...0>``, which the tests exploit as an invariant.
+    """
+
+    if layers < 1:
+        raise ValueError("layers must be >= 1")
+    circuit = QuantumCircuit(num_qubits, name=f"hadamard_{num_qubits}_x{layers}")
+    for _ in range(layers):
+        for qubit in range(num_qubits):
+            circuit.h(qubit)
+    return circuit

@@ -1,0 +1,43 @@
+"""QFT benchmark (Table 2, fourth benchmark family).
+
+The quantum Fourier transform is the paper's deep-circuit workload (3,258
+gates at 36 qubits): gate count grows quadratically with the register size,
+so it stresses the accumulation of lossy error over many gates.  Following
+the paper, the input is a random computational basis state prepared with X
+gates ("We randomly apply X gate to the initial state as the input for the
+QFT").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..circuits import QuantumCircuit, prepare_basis_state, qft_circuit
+
+__all__ = ["qft_benchmark_circuit", "qft_reference_state"]
+
+
+def qft_benchmark_circuit(num_qubits: int, seed: int | None = None) -> QuantumCircuit:
+    """Random-basis-state preparation followed by the full QFT."""
+
+    rng = np.random.default_rng(seed)
+    basis_state = int(rng.integers(1 << num_qubits))
+    circuit = QuantumCircuit(num_qubits, name=f"qft_bench_{num_qubits}")
+    circuit.compose(prepare_basis_state(num_qubits, basis_state))
+    circuit.compose(qft_circuit(num_qubits))
+    return circuit
+
+
+def qft_reference_state(num_qubits: int, basis_state: int) -> np.ndarray:
+    """Analytic QFT output for a basis-state input.
+
+    ``QFT|x> = 2^{-n/2} Σ_k exp(2πi x k / 2^n) |k>`` — used by the tests to
+    validate both simulators without a second simulation.
+    """
+
+    size = 1 << num_qubits
+    if not 0 <= basis_state < size:
+        raise ValueError("basis_state out of range")
+    k = np.arange(size)
+    phases = np.exp(2j * np.pi * basis_state * k / size)
+    return phases / np.sqrt(size)

@@ -1,0 +1,138 @@
+"""Google-style random circuit sampling benchmark (Boixo et al. rules).
+
+The paper uses the quantum-supremacy random circuits both as a compression
+stress test (they entangle quickly, so the state becomes incompressible) and
+as a Table 2 benchmark at depth 11 on 2-D qubit grids (5x9, 6x7, 6x6, 7x5).
+
+The construction follows the published rules the paper cites [9]:
+
+* layer 0 applies a Hadamard to every qubit;
+* each subsequent layer applies CZ gates along one of eight alternating
+  "brick" patterns over the 2-D grid, and
+* every qubit not touched by a CZ in this layer receives a single-qubit gate
+  drawn from {sqrt(X), sqrt(Y), T}, subject to the published constraints
+  (a T after the first non-H single-qubit gate slot, no repeating the same
+  gate consecutively, a gate only follows a CZ on that qubit).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..circuits import QuantumCircuit
+
+__all__ = ["GridSpec", "random_supremacy_circuit", "cz_pattern"]
+
+
+class GridSpec:
+    """A rectangular qubit grid of ``rows x cols`` qubits."""
+
+    def __init__(self, rows: int, cols: int) -> None:
+        if rows < 1 or cols < 1:
+            raise ValueError("grid dimensions must be positive")
+        self.rows = int(rows)
+        self.cols = int(cols)
+
+    @property
+    def num_qubits(self) -> int:
+        return self.rows * self.cols
+
+    def index(self, row: int, col: int) -> int:
+        return row * self.cols + col
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GridSpec({self.rows}x{self.cols})"
+
+
+def cz_pattern(grid: GridSpec, layer: int) -> list[tuple[int, int]]:
+    """CZ pairs activated at *layer*, cycling through the 8 brick patterns.
+
+    Patterns 0-3 couple horizontal neighbours (even/odd column parity,
+    staggered by row), patterns 4-7 couple vertical neighbours analogously —
+    the supremacy-circuit layout the paper's reference describes.
+    """
+
+    pattern = layer % 8
+    pairs: list[tuple[int, int]] = []
+    if pattern < 4:
+        col_parity = pattern % 2
+        row_stagger = pattern // 2
+        for row in range(grid.rows):
+            offset = (col_parity + (row + row_stagger) % 2) % 2
+            for col in range(offset, grid.cols - 1, 2):
+                pairs.append((grid.index(row, col), grid.index(row, col + 1)))
+    else:
+        local = pattern - 4
+        row_parity = local % 2
+        col_stagger = local // 2
+        for col in range(grid.cols):
+            offset = (row_parity + (col + col_stagger) % 2) % 2
+            for row in range(offset, grid.rows - 1, 2):
+                pairs.append((grid.index(row, col), grid.index(row + 1, col)))
+    return pairs
+
+
+def random_supremacy_circuit(
+    rows: int,
+    cols: int,
+    depth: int,
+    seed: int | None = None,
+) -> QuantumCircuit:
+    """Random circuit on a ``rows x cols`` grid with *depth* clock cycles.
+
+    ``depth`` counts the CZ layers after the initial Hadamard layer (the
+    paper runs depth 11 for Table 2).
+    """
+
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    grid = GridSpec(rows, cols)
+    rng = np.random.default_rng(seed)
+    n = grid.num_qubits
+    circuit = QuantumCircuit(n, name=f"sup_{rows}x{cols}_d{depth}")
+
+    for qubit in range(n):
+        circuit.h(qubit)
+
+    # Per-qubit bookkeeping for the single-qubit gate rules.
+    last_single = ["h"] * n
+    had_t = [False] * n
+    touched_by_cz = [False] * n
+
+    single_choices = ("sx", "sy", "t")
+
+    def apply_single(qubit: int) -> None:
+        # A single-qubit gate is only placed on qubits that were part of a CZ
+        # in the previous layer (the published rule); the first non-H gate is
+        # a T, afterwards sqrt(X)/sqrt(Y) alternate randomly without repeats.
+        if not touched_by_cz[qubit]:
+            return
+        if not had_t[qubit]:
+            gate = "t"
+        else:
+            options = [g for g in ("sx", "sy") if g != last_single[qubit]]
+            gate = options[int(rng.integers(len(options)))] if options else "sx"
+        if gate == "t":
+            circuit.t(qubit)
+            had_t[qubit] = True
+        elif gate == "sx":
+            circuit.sx(qubit)
+        else:  # sqrt(Y) = rotation by pi/2 about Y, up to global phase
+            circuit.ry(np.pi / 2.0, qubit)
+        last_single[qubit] = gate
+        touched_by_cz[qubit] = False
+
+    for layer in range(depth):
+        pairs = cz_pattern(grid, layer)
+        busy = set()
+        for a, b in pairs:
+            circuit.cz(a, b)
+            busy.add(a)
+            busy.add(b)
+        for qubit in range(n):
+            if qubit not in busy:
+                apply_single(qubit)
+        for qubit in busy:
+            touched_by_cz[qubit] = True
+
+    return circuit

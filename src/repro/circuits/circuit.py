@@ -1,0 +1,295 @@
+"""Quantum circuit container.
+
+A :class:`QuantumCircuit` is an ordered list of :class:`~repro.circuits.gates.Gate`
+applications on ``n`` qubits.  It is deliberately simulator-agnostic: both the
+dense reference simulator and the compressed-block simulator iterate over the
+same circuit object, which is what lets the test suite compare them gate for
+gate.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from .gates import Gate, GateError, standard_gate
+
+__all__ = ["QuantumCircuit", "CircuitStats"]
+
+
+@dataclass(frozen=True)
+class CircuitStats:
+    """Summary statistics of a circuit, used by reports and benchmarks."""
+
+    num_qubits: int
+    num_gates: int
+    num_single_qubit_gates: int
+    num_controlled_gates: int
+    depth: int
+    gate_histogram: dict[str, int]
+
+    def as_dict(self) -> dict:
+        return {
+            "num_qubits": self.num_qubits,
+            "num_gates": self.num_gates,
+            "num_single_qubit_gates": self.num_single_qubit_gates,
+            "num_controlled_gates": self.num_controlled_gates,
+            "depth": self.depth,
+            "gate_histogram": dict(self.gate_histogram),
+        }
+
+
+class QuantumCircuit:
+    """An ordered sequence of gates acting on ``num_qubits`` qubits.
+
+    The builder methods (``h``, ``x``, ``cx``, ``ccx``, ...) mirror the gate
+    set used by the paper's benchmarks.  Each returns ``self`` so circuits can
+    be built fluently::
+
+        circuit = QuantumCircuit(3).h(0).cx(0, 1).ccx(0, 1, 2)
+    """
+
+    def __init__(self, num_qubits: int, name: str = "circuit") -> None:
+        if num_qubits < 1:
+            raise ValueError("a circuit needs at least one qubit")
+        self._num_qubits = int(num_qubits)
+        self._gates: list[Gate] = []
+        self.name = name
+
+    # -- basic protocol --------------------------------------------------------
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits the circuit acts on."""
+
+        return self._num_qubits
+
+    @property
+    def gates(self) -> tuple[Gate, ...]:
+        """The gate sequence as an immutable tuple."""
+
+        return tuple(self._gates)
+
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self._gates)
+
+    def __getitem__(self, index):
+        return self._gates[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QuantumCircuit):
+            return NotImplemented
+        if self._num_qubits != other._num_qubits or len(self) != len(other):
+            return False
+        return all(
+            a.name == b.name
+            and a.targets == b.targets
+            and a.controls == b.controls
+            and np.allclose(a.matrix, b.matrix)
+            for a, b in zip(self._gates, other._gates)
+        )
+
+    # -- gate appending --------------------------------------------------------
+
+    def append(self, gate: Gate) -> "QuantumCircuit":
+        """Append an already-constructed :class:`Gate`."""
+
+        if gate.max_qubit() >= self._num_qubits:
+            raise GateError(
+                f"gate {gate.name} touches qubit {gate.max_qubit()} but the "
+                f"circuit has only {self._num_qubits} qubits"
+            )
+        self._gates.append(gate)
+        return self
+
+    def extend(self, gates: Iterable[Gate]) -> "QuantumCircuit":
+        """Append every gate from *gates*."""
+
+        for gate in gates:
+            self.append(gate)
+        return self
+
+    def add(self, name: str, targets, controls=(), params=()) -> "QuantumCircuit":
+        """Append a gate by mnemonic (see :func:`standard_gate`)."""
+
+        return self.append(standard_gate(name, targets, controls, params))
+
+    # -- named builders (single-qubit) -----------------------------------------
+
+    def i(self, qubit: int) -> "QuantumCircuit":
+        return self.add("i", qubit)
+
+    def x(self, qubit: int) -> "QuantumCircuit":
+        return self.add("x", qubit)
+
+    def y(self, qubit: int) -> "QuantumCircuit":
+        return self.add("y", qubit)
+
+    def z(self, qubit: int) -> "QuantumCircuit":
+        return self.add("z", qubit)
+
+    def h(self, qubit: int) -> "QuantumCircuit":
+        return self.add("h", qubit)
+
+    def s(self, qubit: int) -> "QuantumCircuit":
+        return self.add("s", qubit)
+
+    def sdg(self, qubit: int) -> "QuantumCircuit":
+        return self.add("sdg", qubit)
+
+    def t(self, qubit: int) -> "QuantumCircuit":
+        return self.add("t", qubit)
+
+    def tdg(self, qubit: int) -> "QuantumCircuit":
+        return self.add("tdg", qubit)
+
+    def sx(self, qubit: int) -> "QuantumCircuit":
+        return self.add("sx", qubit)
+
+    def rx(self, theta: float, qubit: int) -> "QuantumCircuit":
+        return self.add("rx", qubit, params=(theta,))
+
+    def ry(self, theta: float, qubit: int) -> "QuantumCircuit":
+        return self.add("ry", qubit, params=(theta,))
+
+    def rz(self, theta: float, qubit: int) -> "QuantumCircuit":
+        return self.add("rz", qubit, params=(theta,))
+
+    def p(self, lam: float, qubit: int) -> "QuantumCircuit":
+        return self.add("p", qubit, params=(lam,))
+
+    def u3(self, theta: float, phi: float, lam: float, qubit: int) -> "QuantumCircuit":
+        return self.add("u3", qubit, params=(theta, phi, lam))
+
+    # -- named builders (controlled) -------------------------------------------
+
+    def cx(self, control: int, target: int) -> "QuantumCircuit":
+        return self.add("x", target, controls=(control,))
+
+    def cz(self, control: int, target: int) -> "QuantumCircuit":
+        return self.add("z", target, controls=(control,))
+
+    def cy(self, control: int, target: int) -> "QuantumCircuit":
+        return self.add("y", target, controls=(control,))
+
+    def ch(self, control: int, target: int) -> "QuantumCircuit":
+        return self.add("h", target, controls=(control,))
+
+    def cp(self, lam: float, control: int, target: int) -> "QuantumCircuit":
+        return self.add("p", target, controls=(control,), params=(lam,))
+
+    def crz(self, theta: float, control: int, target: int) -> "QuantumCircuit":
+        return self.add("rz", target, controls=(control,), params=(theta,))
+
+    def ccx(self, control1: int, control2: int, target: int) -> "QuantumCircuit":
+        """Toffoli gate (used heavily by the Grover oracle)."""
+
+        return self.add("x", target, controls=(control1, control2))
+
+    def ccz(self, control1: int, control2: int, target: int) -> "QuantumCircuit":
+        return self.add("z", target, controls=(control1, control2))
+
+    def mcx(self, controls: Sequence[int], target: int) -> "QuantumCircuit":
+        """Multi-controlled X with an arbitrary number of controls."""
+
+        return self.add("x", target, controls=tuple(controls))
+
+    def mcz(self, controls: Sequence[int], target: int) -> "QuantumCircuit":
+        """Multi-controlled Z with an arbitrary number of controls."""
+
+        return self.add("z", target, controls=tuple(controls))
+
+    def swap(self, qubit_a: int, qubit_b: int) -> "QuantumCircuit":
+        """SWAP decomposed into three CNOTs (keeps the gate set 1q+controls)."""
+
+        return self.cx(qubit_a, qubit_b).cx(qubit_b, qubit_a).cx(qubit_a, qubit_b)
+
+    # -- whole-circuit operations ----------------------------------------------
+
+    def compose(self, other: "QuantumCircuit") -> "QuantumCircuit":
+        """Append all gates of *other* (must not exceed our qubit count)."""
+
+        if other.num_qubits > self._num_qubits:
+            raise GateError(
+                "cannot compose a circuit with more qubits than the target"
+            )
+        return self.extend(other.gates)
+
+    def inverse(self) -> "QuantumCircuit":
+        """Return the adjoint circuit (gates reversed and daggered)."""
+
+        inv = QuantumCircuit(self._num_qubits, name=f"{self.name}_inv")
+        for gate in reversed(self._gates):
+            inv.append(gate.dagger())
+        return inv
+
+    def remapped(self, mapping: dict[int, int]) -> "QuantumCircuit":
+        """Return a copy with qubit indices translated through *mapping*."""
+
+        new = QuantumCircuit(self._num_qubits, name=self.name)
+        for gate in self._gates:
+            new.append(gate.remapped(mapping))
+        return new
+
+    def copy(self) -> "QuantumCircuit":
+        new = QuantumCircuit(self._num_qubits, name=self.name)
+        new._gates = list(self._gates)
+        return new
+
+    # -- analysis ---------------------------------------------------------------
+
+    def depth(self) -> int:
+        """Circuit depth: the longest chain of gates over any qubit timeline."""
+
+        frontier = [0] * self._num_qubits
+        for gate in self._gates:
+            level = max(frontier[q] for q in gate.qubits) + 1
+            for q in gate.qubits:
+                frontier[q] = level
+        return max(frontier, default=0)
+
+    def stats(self) -> CircuitStats:
+        """Return :class:`CircuitStats` for reporting."""
+
+        histogram: Counter[str] = Counter()
+        controlled = 0
+        for gate in self._gates:
+            label = gate.name if not gate.controls else f"c{len(gate.controls)}{gate.name}"
+            histogram[label] += 1
+            if gate.controls:
+                controlled += 1
+        return CircuitStats(
+            num_qubits=self._num_qubits,
+            num_gates=len(self._gates),
+            num_single_qubit_gates=len(self._gates) - controlled,
+            num_controlled_gates=controlled,
+            depth=self.depth(),
+            gate_histogram=dict(histogram),
+        )
+
+    def qasm_like(self) -> str:
+        """Render a human-readable OPENQASM-flavoured dump of the circuit."""
+
+        lines = [f"// circuit {self.name}: {self._num_qubits} qubits, {len(self)} gates"]
+        lines.append(f"qreg q[{self._num_qubits}];")
+        for gate in self._gates:
+            args = ", ".join(f"{p:.6g}" for p in gate.params)
+            head = f"{gate.name}({args})" if args else gate.name
+            operands = ", ".join(
+                f"q[{q}]" for q in (gate.controls + gate.targets)
+            )
+            prefix = "c" * len(gate.controls)
+            lines.append(f"{prefix}{head} {operands};")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QuantumCircuit(name={self.name!r}, qubits={self._num_qubits}, "
+            f"gates={len(self._gates)})"
+        )

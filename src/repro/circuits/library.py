@@ -1,0 +1,132 @@
+"""Reusable circuit fragments shared by the application benchmarks.
+
+These helpers build common sub-circuits (uniform superposition, basis-state
+preparation, multi-controlled phase flips, diffusion operators) that the
+paper's workloads — Grover's search, QAOA, QFT and the supremacy-style random
+circuits — are assembled from in :mod:`repro.applications`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from .circuit import QuantumCircuit
+
+__all__ = [
+    "uniform_superposition",
+    "prepare_basis_state",
+    "phase_oracle",
+    "grover_diffusion",
+    "qft_circuit",
+    "ghz_circuit",
+]
+
+
+def uniform_superposition(num_qubits: int) -> QuantumCircuit:
+    """Hadamard on every qubit: ``|0..0> -> H^{\\otimes n}|0..0>``.
+
+    This is also the workload the paper uses for the scaling studies
+    (Figures 15 and 16).
+    """
+
+    circuit = QuantumCircuit(num_qubits, name=f"hadamard_{num_qubits}")
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    return circuit
+
+
+def prepare_basis_state(num_qubits: int, bitstring: str | int) -> QuantumCircuit:
+    """Prepare the computational basis state given by *bitstring*.
+
+    *bitstring* may be an integer or a string such as ``"0101"`` whose
+    leftmost character is the most-significant qubit (qubit ``n-1``).
+    """
+
+    if isinstance(bitstring, str):
+        if len(bitstring) != num_qubits or set(bitstring) - {"0", "1"}:
+            raise ValueError(
+                f"bitstring {bitstring!r} is not a {num_qubits}-bit binary string"
+            )
+        value = int(bitstring, 2)
+    else:
+        value = int(bitstring)
+        if value < 0 or value >= 1 << num_qubits:
+            raise ValueError(f"basis state {value} out of range for {num_qubits} qubits")
+    circuit = QuantumCircuit(num_qubits, name=f"basis_{value}")
+    for qubit in range(num_qubits):
+        if (value >> qubit) & 1:
+            circuit.x(qubit)
+    return circuit
+
+
+def phase_oracle(num_qubits: int, marked: Sequence[int]) -> QuantumCircuit:
+    """Phase-flip oracle: multiplies each state in *marked* by -1.
+
+    Implemented with X conjugation plus a multi-controlled Z, i.e. the
+    X/Toffoli-style oracle construction the paper attributes to its Grover
+    benchmark (ScaffCC square-root oracle).
+    """
+
+    circuit = QuantumCircuit(num_qubits, name="phase_oracle")
+    for value in marked:
+        if value < 0 or value >= 1 << num_qubits:
+            raise ValueError(f"marked state {value} out of range")
+        zero_bits = [q for q in range(num_qubits) if not (value >> q) & 1]
+        for qubit in zero_bits:
+            circuit.x(qubit)
+        if num_qubits == 1:
+            circuit.z(0)
+        else:
+            circuit.mcz(tuple(range(num_qubits - 1)), num_qubits - 1)
+        for qubit in zero_bits:
+            circuit.x(qubit)
+    return circuit
+
+
+def grover_diffusion(num_qubits: int) -> QuantumCircuit:
+    """The Grover diffusion (inversion about the mean) operator."""
+
+    circuit = QuantumCircuit(num_qubits, name="diffusion")
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    for qubit in range(num_qubits):
+        circuit.x(qubit)
+    if num_qubits == 1:
+        circuit.z(0)
+    else:
+        circuit.mcz(tuple(range(num_qubits - 1)), num_qubits - 1)
+    for qubit in range(num_qubits):
+        circuit.x(qubit)
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    return circuit
+
+
+def qft_circuit(num_qubits: int, *, include_swaps: bool = True) -> QuantumCircuit:
+    """Quantum Fourier transform on *num_qubits* qubits.
+
+    Uses the textbook H + controlled-phase ladder; the optional terminal
+    swaps restore the conventional output ordering.  This is the deep-circuit
+    workload of Table 2 (QFT column).
+    """
+
+    circuit = QuantumCircuit(num_qubits, name=f"qft_{num_qubits}")
+    for target in reversed(range(num_qubits)):
+        circuit.h(target)
+        for k, control in enumerate(reversed(range(target)), start=2):
+            circuit.cp(2.0 * math.pi / (1 << k), control, target)
+    if include_swaps:
+        for qubit in range(num_qubits // 2):
+            circuit.swap(qubit, num_qubits - 1 - qubit)
+    return circuit
+
+
+def ghz_circuit(num_qubits: int) -> QuantumCircuit:
+    """GHZ state preparation, used as a highly-compressible test workload."""
+
+    circuit = QuantumCircuit(num_qubits, name=f"ghz_{num_qubits}")
+    circuit.h(0)
+    for qubit in range(num_qubits - 1):
+        circuit.cx(qubit, qubit + 1)
+    return circuit

@@ -1,0 +1,226 @@
+"""Bit-plane truncation and XOR leading-zero coding primitives.
+
+These are the building blocks of the paper's tailored lossy compressor
+(Solution C, Section 4.2):
+
+1. **Significant-bit count** (Eq. 12): the number of leading bits of an IEEE
+   754 double that must be preserved to respect a pointwise relative error
+   bound ``eps``::
+
+       Sig_Bit_Count = Bit_Count(Sign & Exp) - EXP(eps)
+
+   where ``Bit_Count(Sign & Exp) = 12`` for double precision and ``EXP(eps)``
+   is the (negative) binary exponent of the bound, e.g. ``EXP(0.01) = -7``.
+
+2. **Bit-plane truncation**: zeroing all bits below the significant count.
+   Because only low-order mantissa bits are dropped, the decompressed
+   magnitude never exceeds the original and never falls below
+   ``|d| * (1 - eps)`` — exactly the guarantee stated in Section 3.7.
+
+3. **XOR leading-zero reduction**: each (truncated) value is XOR-ed with its
+   predecessor; the number of identical leading bytes is stored as a two-bit
+   code and only the differing suffix bytes are emitted.
+
+Everything operates on whole NumPy arrays; there are no per-element Python
+loops (see the HPC-Python guides on vectorisation).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .interface import CompressorError
+
+__all__ = [
+    "DOUBLE_SIGN_EXP_BITS",
+    "significant_bit_count",
+    "bytes_to_keep",
+    "truncate_bitplanes",
+    "truncation_table",
+    "xor_delta_encode",
+    "xor_delta_decode",
+    "leading_zero_bytes",
+    "pack_leading_zero_stream",
+    "unpack_leading_zero_stream",
+]
+
+#: Number of bits occupied by the sign and exponent of an IEEE 754 double.
+DOUBLE_SIGN_EXP_BITS = 12
+
+
+def significant_bit_count(relative_bound: float) -> int:
+    """Eq. 12: leading bits of a double to keep for a relative bound.
+
+    ``EXP(eps)`` is ``floor(log2(eps))`` (e.g. ``EXP(0.01) = -7``), so the
+    count grows as the bound tightens.  The result is clamped to ``[1, 64]``.
+    """
+
+    if relative_bound <= 0:
+        raise CompressorError("relative error bound must be positive")
+    if relative_bound >= 1.0:
+        return DOUBLE_SIGN_EXP_BITS
+    exp_of_bound = math.floor(math.log2(relative_bound))
+    count = DOUBLE_SIGN_EXP_BITS - exp_of_bound
+    return max(1, min(64, count))
+
+
+def bytes_to_keep(relative_bound: float) -> int:
+    """Number of leading *bytes* of each double kept after truncation.
+
+    Solution C truncates on byte boundaries (the suffix bytes are what the
+    XOR/leading-zero stage and Zstd operate on), so the significant bit count
+    is rounded up to the next byte.  Keeping more bits than required can only
+    shrink the error, never grow it.
+    """
+
+    return max(1, min(8, math.ceil(significant_bit_count(relative_bound) / 8)))
+
+
+def truncate_bitplanes(data: np.ndarray, keep_bits: int) -> np.ndarray:
+    """Zero all but the *keep_bits* most significant bits of each double."""
+
+    if not 1 <= keep_bits <= 64:
+        raise CompressorError("keep_bits must be in [1, 64]")
+    data = np.ascontiguousarray(data, dtype=np.float64)
+    bits = data.view(np.uint64)
+    if keep_bits == 64:
+        return data.copy()
+    mask = np.uint64(~((1 << (64 - keep_bits)) - 1) & 0xFFFFFFFFFFFFFFFF)
+    truncated = bits & mask
+    return truncated.view(np.float64).copy()
+
+
+def truncation_table(value: float, max_mantissa_bits: int = 10) -> list[dict]:
+    """Reproduce Figure 13(b): decompressed value and relative error as the
+    kept mantissa width shrinks from *max_mantissa_bits* down to zero.
+
+    Each row keeps the 12 sign/exponent bits plus ``m`` mantissa bits; the
+    paper's example value 3.9921875 then steps through 3.984375, 3.96875,
+    3.9375, 3.875, 3.75, 3.5, ... exactly as the figure lists.
+
+    Returns a list of ``{"mantissa_bits", "bits_kept", "value",
+    "relative_error"}`` rows, tightest first.
+    """
+
+    if max_mantissa_bits < 0 or max_mantissa_bits > 52:
+        raise CompressorError("max_mantissa_bits must be in [0, 52]")
+    rows = []
+    for mantissa_bits in range(max_mantissa_bits, -1, -1):
+        kept = DOUBLE_SIGN_EXP_BITS + mantissa_bits
+        truncated = float(truncate_bitplanes(np.array([value]), kept)[0])
+        rel = abs(value - truncated) / abs(value) if value != 0 else 0.0
+        rows.append(
+            {
+                "mantissa_bits": mantissa_bits,
+                "bits_kept": kept,
+                "value": truncated,
+                "relative_error": rel,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# XOR delta + leading-zero byte coding
+# ---------------------------------------------------------------------------
+
+
+def xor_delta_encode(words: np.ndarray) -> np.ndarray:
+    """XOR every 64-bit word with its predecessor (first word unchanged)."""
+
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+    xored = words.copy()
+    xored[1:] ^= words[:-1]
+    return xored
+
+
+def xor_delta_decode(xored: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`xor_delta_encode`.
+
+    The prefix-XOR scan is sequential by nature; it is computed with
+    ``np.bitwise_xor.accumulate`` which runs in C.
+    """
+
+    xored = np.ascontiguousarray(xored, dtype=np.uint64)
+    return np.bitwise_xor.accumulate(xored)
+
+
+def leading_zero_bytes(xored: np.ndarray, keep_bytes: int) -> np.ndarray:
+    """Number of leading zero bytes (big-endian order) of each XOR-ed word,
+    clamped to the two-bit code range ``[0, 3]`` used by Solution C."""
+
+    byte_matrix = _word_bytes(xored, keep_bytes)
+    nonzero = byte_matrix != 0
+    # Index of the first non-zero byte per row; rows that are all zero get
+    # keep_bytes.
+    first_nonzero = np.where(
+        nonzero.any(axis=1), nonzero.argmax(axis=1), keep_bytes
+    )
+    return np.minimum(first_nonzero, 3).astype(np.uint8)
+
+
+def _word_bytes(words: np.ndarray, keep_bytes: int) -> np.ndarray:
+    """View *words* as a ``(n, keep_bytes)`` big-endian byte matrix."""
+
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+    as_bytes = words[:, None].view(np.uint8).reshape(words.size, 8)
+    # words are little-endian in memory; big-endian (most significant first)
+    # ordering places the kept bytes in the leading columns.
+    big_endian = as_bytes[:, ::-1]
+    return big_endian[:, :keep_bytes]
+
+
+def pack_leading_zero_stream(xored: np.ndarray, keep_bytes: int) -> tuple[bytes, bytes]:
+    """Encode XOR-ed words as (two-bit codes, suffix bytes).
+
+    For each word the two-bit code ``c`` records ``min(leading zero bytes, 3)``
+    and only the remaining ``keep_bytes - c`` bytes are emitted.  Returns the
+    packed code array and the concatenated suffix bytes.
+    """
+
+    if not 1 <= keep_bytes <= 8:
+        raise CompressorError("keep_bytes must be in [1, 8]")
+    codes = leading_zero_bytes(xored, keep_bytes)
+    codes = np.minimum(codes, keep_bytes).astype(np.uint8)
+    byte_matrix = _word_bytes(xored, keep_bytes)
+    columns = np.arange(keep_bytes, dtype=np.uint8)[None, :]
+    keep_mask = columns >= codes[:, None]
+    suffix = byte_matrix[keep_mask]
+    # Pack the 2-bit codes, four per byte.
+    packed_codes = np.packbits(
+        np.unpackbits(codes[:, None], axis=1, count=8)[:, -2:].reshape(-1)
+    )
+    return packed_codes.tobytes(), suffix.tobytes()
+
+
+def unpack_leading_zero_stream(
+    packed_codes: bytes, suffix: bytes, count: int, keep_bytes: int
+) -> np.ndarray:
+    """Inverse of :func:`pack_leading_zero_stream`; returns uint64 XOR-ed words."""
+
+    if count == 0:
+        return np.zeros(0, dtype=np.uint64)
+    code_bits = np.unpackbits(np.frombuffer(packed_codes, dtype=np.uint8))
+    code_bits = code_bits[: count * 2].reshape(count, 2)
+    codes = (code_bits[:, 0].astype(np.uint8) << 1) | code_bits[:, 1]
+    codes = np.minimum(codes, keep_bytes)
+
+    columns = np.arange(keep_bytes, dtype=np.uint8)[None, :]
+    keep_mask = columns >= codes[:, None]
+    byte_matrix = np.zeros((count, keep_bytes), dtype=np.uint8)
+    suffix_array = np.frombuffer(suffix, dtype=np.uint8)
+    expected = int(keep_mask.sum())
+    if suffix_array.size != expected:
+        raise CompressorError(
+            f"suffix stream has {suffix_array.size} bytes, expected {expected}"
+        )
+    byte_matrix[keep_mask] = suffix_array
+
+    # Rebuild the 64-bit words: kept bytes are the most significant ones.
+    full = np.zeros((count, 8), dtype=np.uint8)
+    full[:, :keep_bytes] = byte_matrix
+    # Convert from big-endian byte rows back to native uint64.
+    words = full[:, ::-1].copy().view(np.uint64).reshape(count)
+    return words

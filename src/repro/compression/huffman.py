@@ -1,0 +1,219 @@
+"""Canonical Huffman codec over integer symbol streams.
+
+SZ's third pipeline stage (Section 2.3 / 4.2, Solution A and B) entropy-codes
+the quantization codes with Huffman coding before the final lossless pass.
+This module provides a small, self-contained canonical-Huffman implementation
+used by :mod:`repro.compression.sz` and :mod:`repro.compression.sz_complex`.
+
+Encoding is vectorised with NumPy (symbols are mapped to code words through a
+table, code words are concatenated as a bit array and packed with
+``np.packbits``).  Decoding walks the canonical code tables bit-group by
+bit-group; it is O(output bits) but operates on Python integers only at the
+symbol level, which is fast enough for the block sizes the simulator uses.
+"""
+
+from __future__ import annotations
+
+import heapq
+import struct
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from .interface import CompressorError
+
+__all__ = ["HuffmanCodec", "encode", "decode"]
+
+
+@dataclass
+class _CodeBook:
+    """Canonical code book: symbols, code lengths and code values."""
+
+    symbols: np.ndarray  # int64 symbols, sorted by (length, symbol)
+    lengths: np.ndarray  # uint8 code lengths, same order
+    codes: np.ndarray  # uint64 canonical code values, same order
+
+
+def _build_lengths(symbols: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Return Huffman code lengths for each symbol given its frequency."""
+
+    n = symbols.size
+    if n == 1:
+        return np.array([1], dtype=np.uint8)
+    # Classic heap-based Huffman; node = (count, tie_breaker, index or tree)
+    heap: list[tuple[int, int, object]] = []
+    for i in range(n):
+        heap.append((int(counts[i]), i, i))
+    heapq.heapify(heap)
+    tie = n
+    parents: dict[int, list[int]] = {}
+    while len(heap) > 1:
+        c1, _, n1 = heapq.heappop(heap)
+        c2, _, n2 = heapq.heappop(heap)
+        parents[tie] = [n1, n2]  # type: ignore[list-item]
+        heapq.heappush(heap, (c1 + c2, tie, tie))
+        tie += 1
+    # Depth-first traversal to assign lengths.
+    lengths = np.zeros(n, dtype=np.uint8)
+    _, _, root = heap[0]
+    stack: list[tuple[object, int]] = [(root, 0)]
+    while stack:
+        node, depth = stack.pop()
+        if isinstance(node, int) and node < n:
+            lengths[node] = max(depth, 1)
+        else:
+            for child in parents[node]:  # type: ignore[index]
+                stack.append((child, depth + 1))
+    return lengths
+
+
+def _canonicalize(symbols: np.ndarray, lengths: np.ndarray) -> _CodeBook:
+    """Assign canonical code values given symbols and their code lengths."""
+
+    order = np.lexsort((symbols, lengths))
+    symbols = symbols[order]
+    lengths = lengths[order]
+    codes = np.zeros(symbols.size, dtype=np.uint64)
+    code = 0
+    prev_len = int(lengths[0]) if lengths.size else 0
+    for i in range(symbols.size):
+        length = int(lengths[i])
+        code <<= length - prev_len
+        codes[i] = code
+        code += 1
+        prev_len = length
+    return _CodeBook(symbols=symbols, lengths=lengths, codes=codes)
+
+
+class HuffmanCodec:
+    """Encode/decode int64 symbol arrays with canonical Huffman codes."""
+
+    def encode(self, symbols: np.ndarray) -> bytes:
+        """Encode a 1-D integer array into a self-describing byte string."""
+
+        symbols = np.ascontiguousarray(symbols, dtype=np.int64)
+        if symbols.ndim != 1:
+            raise CompressorError("Huffman encoder expects a 1-D symbol array")
+        header = struct.pack("<Q", symbols.size)
+        if symbols.size == 0:
+            return header + struct.pack("<I", 0)
+
+        unique, counts = np.unique(symbols, return_counts=True)
+        book = _canonicalize(unique, _build_lengths(unique, counts))
+
+        # Dictionary: symbol -> (code, length) position via searchsorted on the
+        # symbol-sorted view of the book.
+        sym_order = np.argsort(book.symbols)
+        sorted_syms = book.symbols[sym_order]
+        positions = sym_order[np.searchsorted(sorted_syms, symbols)]
+        code_values = book.codes[positions]
+        code_lengths = book.lengths[positions].astype(np.int64)
+
+        total_bits = int(code_lengths.sum())
+        # Expand every code word into a flat bit array.
+        bit_array = np.zeros(total_bits, dtype=np.uint8)
+        ends = np.cumsum(code_lengths)
+        starts = ends - code_lengths
+        max_len = int(book.lengths.max())
+        # For each bit position inside a code word (vectorised over words).
+        for bit in range(max_len):
+            mask = code_lengths > bit
+            if not mask.any():
+                continue
+            # bit index 0 is the most significant bit of the code word
+            shifts = (code_lengths[mask] - 1 - bit).astype(np.uint64)
+            bits = (code_values[mask] >> shifts) & np.uint64(1)
+            bit_array[starts[mask] + bit] = bits.astype(np.uint8)
+
+        packed = np.packbits(bit_array)
+
+        # Serialise the code book: number of entries, symbols, lengths.
+        book_blob = (
+            struct.pack("<I", book.symbols.size)
+            + book.symbols.astype("<i8").tobytes()
+            + book.lengths.astype("<u1").tobytes()
+        )
+        return (
+            header
+            + struct.pack("<I", len(book_blob))
+            + book_blob
+            + struct.pack("<Q", total_bits)
+            + packed.tobytes()
+        )
+
+    def decode(self, blob: bytes) -> np.ndarray:
+        """Inverse of :meth:`encode`."""
+
+        (count,) = struct.unpack_from("<Q", blob, 0)
+        offset = 8
+        (book_len,) = struct.unpack_from("<I", blob, offset)
+        offset += 4
+        if count == 0:
+            return np.zeros(0, dtype=np.int64)
+        book_blob = blob[offset : offset + book_len]
+        offset += book_len
+        (num_entries,) = struct.unpack_from("<I", book_blob, 0)
+        sym_off = 4
+        symbols = np.frombuffer(
+            book_blob, dtype="<i8", count=num_entries, offset=sym_off
+        ).astype(np.int64)
+        lengths = np.frombuffer(
+            book_blob, dtype="<u1", count=num_entries, offset=sym_off + 8 * num_entries
+        ).astype(np.uint8)
+        book = _canonicalize(symbols, lengths)
+
+        (total_bits,) = struct.unpack_from("<Q", blob, offset)
+        offset += 8
+        packed = np.frombuffer(blob, dtype=np.uint8, offset=offset)
+        bits = np.unpackbits(packed)[:total_bits]
+
+        # Canonical decoding tables: for each code length, the first code value
+        # and the index of its first symbol.
+        max_len = int(book.lengths.max())
+        first_code: dict[int, int] = {}
+        first_index: dict[int, int] = {}
+        lengths_list = book.lengths.tolist()
+        for i, length in enumerate(lengths_list):
+            if length not in first_code:
+                first_code[length] = int(book.codes[i])
+                first_index[length] = i
+        counts_per_len = Counter(lengths_list)
+
+        out = np.empty(count, dtype=np.int64)
+        book_symbols = book.symbols
+        bit_list = bits.tolist()
+        pos = 0
+        n_bits = len(bit_list)
+        for i in range(count):
+            code = 0
+            length = 0
+            while True:
+                if pos >= n_bits:
+                    raise CompressorError("Huffman stream exhausted prematurely")
+                code = (code << 1) | bit_list[pos]
+                pos += 1
+                length += 1
+                if length > max_len:
+                    raise CompressorError("invalid Huffman stream (length overflow)")
+                if length in first_code:
+                    delta = code - first_code[length]
+                    if 0 <= delta < counts_per_len[length]:
+                        out[i] = book_symbols[first_index[length] + delta]
+                        break
+        return out
+
+
+_DEFAULT_CODEC = HuffmanCodec()
+
+
+def encode(symbols: np.ndarray) -> bytes:
+    """Module-level convenience wrapper around :class:`HuffmanCodec.encode`."""
+
+    return _DEFAULT_CODEC.encode(symbols)
+
+
+def decode(blob: bytes) -> np.ndarray:
+    """Module-level convenience wrapper around :class:`HuffmanCodec.decode`."""
+
+    return _DEFAULT_CODEC.decode(blob)

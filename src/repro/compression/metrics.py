@@ -1,0 +1,184 @@
+"""Compression quality metrics.
+
+These implement the measurements the paper's evaluation section is built on:
+
+* compression ratio (Figures 7, 8, 10, Table 2),
+* compression / decompression throughput (Figure 11),
+* per-block maximum pointwise relative error and its CDF (Figure 12),
+* normalized error distribution against the bound (Figure 14), and
+* the lag-1 autocorrelation of the compression errors, the paper's evidence
+  that Solution C's errors are uncorrelated (Section 4.2, last paragraph).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from .interface import Compressor, CompressionRecord, roundtrip
+
+__all__ = [
+    "compression_ratio",
+    "pointwise_absolute_errors",
+    "pointwise_relative_errors",
+    "max_pointwise_relative_error",
+    "per_block_max_relative_error",
+    "normalized_errors",
+    "error_cdf",
+    "lag1_autocorrelation",
+    "evaluate_compressor",
+    "throughput_mbps",
+]
+
+
+def compression_ratio(original_bytes: int, compressed_bytes: int) -> float:
+    """Ratio ``original / compressed``; ``inf`` for an empty blob."""
+
+    if compressed_bytes <= 0:
+        return float("inf")
+    return original_bytes / compressed_bytes
+
+
+def pointwise_absolute_errors(original: np.ndarray, recovered: np.ndarray) -> np.ndarray:
+    """Elementwise ``|d_i - d'_i|``."""
+
+    original = np.asarray(original, dtype=np.float64)
+    recovered = np.asarray(recovered, dtype=np.float64)
+    if original.shape != recovered.shape:
+        raise ValueError("original and recovered arrays must have the same shape")
+    return np.abs(original - recovered)
+
+
+def pointwise_relative_errors(
+    original: np.ndarray, recovered: np.ndarray
+) -> np.ndarray:
+    """Elementwise ``|d_i - d'_i| / |d_i|``; exact zeros contribute 0 error
+    when reconstructed exactly and ``inf`` otherwise."""
+
+    original = np.asarray(original, dtype=np.float64)
+    abs_err = pointwise_absolute_errors(original, recovered)
+    magnitude = np.abs(original)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        rel = np.where(magnitude > 0, abs_err / magnitude, np.where(abs_err > 0, np.inf, 0.0))
+    return rel
+
+
+def max_pointwise_relative_error(original: np.ndarray, recovered: np.ndarray) -> float:
+    """Largest pointwise relative error over the array."""
+
+    rel = pointwise_relative_errors(original, recovered)
+    return float(rel.max(initial=0.0))
+
+
+def per_block_max_relative_error(
+    original: np.ndarray, recovered: np.ndarray, block_size: int
+) -> np.ndarray:
+    """Maximum pointwise relative error of each *block_size*-long block.
+
+    This is the quantity whose CDF the paper plots in Figure 12 (one point
+    per 16 MB data block).  A trailing partial block is included.
+    """
+
+    if block_size <= 0:
+        raise ValueError("block_size must be positive")
+    rel = pointwise_relative_errors(original, recovered)
+    num_blocks = (rel.size + block_size - 1) // block_size
+    maxima = np.empty(num_blocks, dtype=np.float64)
+    for index in range(num_blocks):
+        chunk = rel[index * block_size : (index + 1) * block_size]
+        maxima[index] = chunk.max(initial=0.0)
+    return maxima
+
+
+def normalized_errors(
+    original: np.ndarray, recovered: np.ndarray, bound: float
+) -> np.ndarray:
+    """Signed compression errors normalised by ``bound * |d_i|`` (Figure 14).
+
+    Values lie in ``[-1, 1]`` when the pointwise relative bound is respected.
+    Zero-valued originals are skipped (they carry no relative error).
+    """
+
+    if bound <= 0:
+        raise ValueError("bound must be positive")
+    original = np.asarray(original, dtype=np.float64)
+    recovered = np.asarray(recovered, dtype=np.float64)
+    mask = np.abs(original) > 0
+    signed = (recovered[mask] - original[mask]) / (np.abs(original[mask]) * bound)
+    return signed
+
+
+def error_cdf(errors: np.ndarray, num_points: int = 200) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(x, F(x))`` — the empirical CDF sampled at *num_points* knots."""
+
+    errors = np.sort(np.asarray(errors, dtype=np.float64))
+    if errors.size == 0:
+        return np.zeros(0), np.zeros(0)
+    x = np.linspace(errors[0], errors[-1], num_points)
+    cdf = np.searchsorted(errors, x, side="right") / errors.size
+    return x, cdf
+
+
+def lag1_autocorrelation(values: np.ndarray) -> float:
+    """Lag-1 autocorrelation coefficient of *values*.
+
+    The paper reports this on the compression-error series to show Solution C
+    errors are uncorrelated (values within roughly [-1e-4, 1e-4] on dense
+    data).  Returns 0 for constant or near-empty inputs.
+    """
+
+    values = np.asarray(values, dtype=np.float64)
+    if values.size < 2:
+        return 0.0
+    centered = values - values.mean()
+    denom = float(np.dot(centered, centered))
+    if denom == 0.0:
+        return 0.0
+    numer = float(np.dot(centered[:-1], centered[1:]))
+    return numer / denom
+
+
+def throughput_mbps(num_bytes: int, seconds: float) -> float:
+    """Throughput in MB/s (10^6 bytes per second), ``inf`` for zero time."""
+
+    if seconds <= 0:
+        return float("inf")
+    return num_bytes / 1e6 / seconds
+
+
+@dataclass
+class CompressorEvaluation:
+    """Bundle of metrics for one compressor on one dataset."""
+
+    record: CompressionRecord
+    per_block_max_rel: np.ndarray
+    normalized: np.ndarray
+    lag1_error_autocorrelation: float
+
+    def as_dict(self) -> dict:
+        data = self.record.as_dict()
+        data["lag1_error_autocorrelation"] = self.lag1_error_autocorrelation
+        return data
+
+
+def evaluate_compressor(
+    compressor: Compressor,
+    data: np.ndarray,
+    block_size: int = 4096,
+) -> CompressorEvaluation:
+    """Round-trip *data* through *compressor* and collect the paper's metrics."""
+
+    original = Compressor._as_float64(data)
+    recovered, record = roundtrip(compressor, original)
+    per_block = per_block_max_relative_error(original, recovered, block_size)
+    bound = compressor.bound if compressor.bound > 0 else 1.0
+    norm = normalized_errors(original, recovered, bound)
+    errors = recovered - original
+    return CompressorEvaluation(
+        record=record,
+        per_block_max_rel=per_block,
+        normalized=norm,
+        lag1_error_autocorrelation=lag1_autocorrelation(errors),
+    )

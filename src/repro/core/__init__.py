@@ -1,0 +1,33 @@
+"""Core contribution: the compressed-state full-circuit simulator."""
+
+from .adaptive import AdaptiveErrorController, EscalationEvent
+from .blocks import BlockStore, CompressedBlock, ScratchPool
+from .cache import BlockCache, CacheStats
+from .checkpoint import CheckpointError, load_checkpoint, save_checkpoint
+from .compressed_state import CompressedStateVector
+from .config import PAPER_BLOCK_AMPLITUDES, SimulatorConfig
+from .fidelity import FidelityTracker, fidelity_curve, fidelity_lower_bound
+from .report import SimulationReport, Timer
+from .simulator import CompressedSimulator
+
+__all__ = [
+    "CompressedSimulator",
+    "CompressedStateVector",
+    "SimulatorConfig",
+    "PAPER_BLOCK_AMPLITUDES",
+    "SimulationReport",
+    "Timer",
+    "AdaptiveErrorController",
+    "EscalationEvent",
+    "BlockCache",
+    "CacheStats",
+    "BlockStore",
+    "CompressedBlock",
+    "ScratchPool",
+    "FidelityTracker",
+    "fidelity_lower_bound",
+    "fidelity_curve",
+    "save_checkpoint",
+    "load_checkpoint",
+    "CheckpointError",
+]

@@ -1,0 +1,144 @@
+"""Compressed block storage and decompression scratch buffers.
+
+The state vector never exists in full: every rank's slice is held as a list
+of compressed blobs (:class:`BlockStore`), and at most two blocks per rank
+are ever decompressed at the same time into reusable scratch buffers
+(:class:`ScratchPool`) — the role MCDRAM plays in the paper's Theta runs
+(Section 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..compression.interface import Compressor
+from ..distributed.partition import Partition
+
+__all__ = ["CompressedBlock", "BlockStore", "ScratchPool"]
+
+
+@dataclass
+class CompressedBlock:
+    """One compressed block plus the metadata needed to interpret it."""
+
+    blob: bytes
+    #: Name of the compressor that produced the blob ("lossless", "xor-bitplane", ...).
+    compressor: str
+    #: Error bound used (0.0 for lossless).
+    bound: float
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.blob)
+
+
+class BlockStore:
+    """All compressed blocks of the distributed state, indexed by (rank, block)."""
+
+    def __init__(self, partition: Partition) -> None:
+        self._partition = partition
+        self._blocks: list[list[CompressedBlock | None]] = [
+            [None] * partition.blocks_per_rank for _ in range(partition.num_ranks)
+        ]
+
+    @property
+    def partition(self) -> Partition:
+        return self._partition
+
+    def get(self, rank: int, block: int) -> CompressedBlock:
+        entry = self._blocks[rank][block]
+        if entry is None:
+            raise KeyError(f"block ({rank}, {block}) has not been initialised")
+        return entry
+
+    def put(self, rank: int, block: int, compressed: CompressedBlock) -> None:
+        self._blocks[rank][block] = compressed
+
+    def __iter__(self):
+        for rank in range(self._partition.num_ranks):
+            for block in range(self._partition.blocks_per_rank):
+                yield (rank, block), self.get(rank, block)
+
+    # -- memory accounting ---------------------------------------------------------
+
+    def compressed_bytes(self) -> int:
+        """Total bytes of all compressed blobs."""
+
+        return sum(
+            entry.nbytes
+            for per_rank in self._blocks
+            for entry in per_rank
+            if entry is not None
+        )
+
+    def rank_compressed_bytes(self, rank: int) -> int:
+        return sum(entry.nbytes for entry in self._blocks[rank] if entry is not None)
+
+    def total_bytes_with_scratch(self) -> int:
+        """Eq. 8: compressed blocks plus two decompressed blocks per rank."""
+
+        scratch = 2 * self._partition.block_bytes * self._partition.num_ranks
+        return self.compressed_bytes() + scratch
+
+    def compression_ratio(self) -> float:
+        """Current overall ratio: uncompressed state size / compressed size."""
+
+        compressed = self.compressed_bytes()
+        if compressed == 0:
+            return float("inf")
+        return self._partition.uncompressed_bytes() / compressed
+
+    def bounds_in_use(self) -> set[float]:
+        """Distinct error bounds present across the stored blocks."""
+
+        return {
+            entry.bound
+            for per_rank in self._blocks
+            for entry in per_rank
+            if entry is not None
+        }
+
+
+class ScratchPool:
+    """Reusable decompression buffers (the MCDRAM staging area).
+
+    At most two blocks per rank are decompressed at any time (Figure 2); in
+    this single-process reproduction that means two shared ``complex128``
+    buffers of one block each, reused for every gate to avoid repeated
+    allocation in the hot loop.
+    """
+
+    def __init__(self, block_amplitudes: int, buffers: int = 2) -> None:
+        if buffers < 1:
+            raise ValueError("need at least one scratch buffer")
+        self._block_amplitudes = int(block_amplitudes)
+        self._buffers = [
+            np.zeros(block_amplitudes, dtype=np.complex128) for _ in range(buffers)
+        ]
+
+    @property
+    def block_amplitudes(self) -> int:
+        return self._block_amplitudes
+
+    @property
+    def num_buffers(self) -> int:
+        return len(self._buffers)
+
+    def buffer(self, index: int) -> np.ndarray:
+        """Return scratch buffer *index* (contents are stale until filled)."""
+
+        return self._buffers[index]
+
+    def load(self, index: int, values: np.ndarray) -> np.ndarray:
+        """Copy decompressed float64 data into buffer *index* as complex128."""
+
+        target = self._buffers[index]
+        view = values.view(np.complex128) if values.dtype == np.float64 else values
+        if view.size != target.size:
+            raise ValueError(
+                f"decompressed block has {view.size} amplitudes, expected {target.size}"
+            )
+        np.copyto(target, view)
+        return target

@@ -1,0 +1,149 @@
+"""Compressed block cache (Section 3.4).
+
+Many circuits — Grover's search above all — keep large groups of amplitudes
+identical, so the same (gate, compressed-input-blocks) pattern recurs over and
+over.  The cache stores, per pattern, the compressed *output* blocks, letting
+the simulator skip decompression, the gate kernel and recompression entirely
+on a hit.
+
+The paper's design: 64 cache lines per rank, least-recently-used replacement,
+a line holds ``(OP, CB1, CB2, CB1', CB2')``; the cache is disabled when the
+hit rate stays at zero (random circuits), so misses stop costing lookups.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+
+__all__ = ["CacheStats", "BlockCache"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters plus the disable state."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    disabled: bool = False
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+            "disabled": self.disabled,
+        }
+
+
+def _digest(blob: bytes | None) -> bytes:
+    """Short stable digest of a compressed blob (None for absent blocks)."""
+
+    if blob is None:
+        return b"\x00" * 16
+    return hashlib.blake2b(blob, digest_size=16).digest()
+
+
+class BlockCache:
+    """LRU cache keyed on (gate operation, compressed input blocks).
+
+    Parameters
+    ----------
+    lines:
+        Maximum number of cache lines (64 in the paper).
+    miss_disable_threshold:
+        After this many lookups with zero hits the cache disables itself,
+        mirroring the paper's "disable if the hit rate is always zero" rule.
+        ``None`` never disables.
+    """
+
+    def __init__(self, lines: int = 64, miss_disable_threshold: int | None = 256) -> None:
+        if lines < 1:
+            raise ValueError("cache must have at least one line")
+        self._lines = int(lines)
+        self._threshold = miss_disable_threshold
+        self._entries: "OrderedDict[bytes, tuple[bytes, bytes | None]]" = OrderedDict()
+        self.stats = CacheStats()
+
+    @property
+    def lines(self) -> int:
+        return self._lines
+
+    @property
+    def enabled(self) -> bool:
+        return not self.stats.disabled
+
+    def _key(self, op_key: tuple, blob1: bytes, blob2: bytes | None) -> bytes:
+        hasher = hashlib.blake2b(digest_size=20)
+        hasher.update(repr(op_key).encode())
+        hasher.update(_digest(blob1))
+        hasher.update(_digest(blob2))
+        return hasher.digest()
+
+    def lookup(
+        self, op_key: tuple, blob1: bytes, blob2: bytes | None
+    ) -> tuple[bytes, bytes | None] | None:
+        """Return the cached output blobs for this pattern, or ``None``."""
+
+        if self.stats.disabled:
+            return None
+        key = self._key(op_key, blob1, blob2)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            if (
+                self._threshold is not None
+                and self.stats.hits == 0
+                and self.stats.misses >= self._threshold
+            ):
+                self.stats.disabled = True
+                self._entries.clear()
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def insert(
+        self,
+        op_key: tuple,
+        blob1: bytes,
+        blob2: bytes | None,
+        out1: bytes,
+        out2: bytes | None,
+    ) -> None:
+        """Store the output blobs for this pattern (LRU eviction)."""
+
+        if self.stats.disabled:
+            return
+        key = self._key(op_key, blob1, blob2)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = (out1, out2)
+        self.stats.insertions += 1
+        while len(self._entries) > self._lines:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop all lines and re-enable the cache (counters are kept)."""
+
+        self._entries.clear()
+        self.stats.disabled = False
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,193 @@
+"""The blocked, compressed representation of the quantum state.
+
+:class:`CompressedStateVector` is the data structure at the heart of the
+paper: the ``2^n`` amplitudes are split over simulated ranks and blocks
+(:class:`~repro.distributed.partition.Partition`) and every block is held
+compressed (:class:`~repro.core.blocks.BlockStore`).  Blocks are decompressed
+only transiently — either into the scratch pool while a gate updates them, or
+on demand when the user asks for probabilities, norms or (for small systems)
+the full dense vector.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..compression.interface import Compressor
+from ..distributed.comm import SimulatedCommunicator
+from ..distributed.partition import Partition
+from .blocks import BlockStore, CompressedBlock
+
+__all__ = ["CompressedStateVector"]
+
+
+class CompressedStateVector:
+    """State vector stored as compressed blocks.
+
+    Parameters
+    ----------
+    partition:
+        The rank/block decomposition.
+    compressor:
+        Compressor used for the *initial* blocks (usually the lossless one —
+        the adaptive controller swaps in lossy compressors later).
+    comm:
+        Optional communicator used to account for the collective operations
+        (norm computations) a distributed implementation would need.
+    initial_basis_state:
+        Basis state to initialise to (default ``|0...0>``).
+    """
+
+    def __init__(
+        self,
+        partition: Partition,
+        compressor: Compressor,
+        comm: SimulatedCommunicator | None = None,
+        initial_basis_state: int = 0,
+    ) -> None:
+        self._partition = partition
+        self._store = BlockStore(partition)
+        self._comm = comm
+        if not 0 <= initial_basis_state < partition.total_amplitudes:
+            raise ValueError(
+                f"initial basis state {initial_basis_state} out of range"
+            )
+        self._initialise(compressor, initial_basis_state)
+
+    def _initialise(self, compressor: Compressor, basis_state: int) -> None:
+        partition = self._partition
+        target_rank, target_block, target_offset = partition.locate(basis_state)
+        zero_block = np.zeros(partition.block_amplitudes, dtype=np.complex128)
+        zero_blob: bytes | None = None
+        for rank in range(partition.num_ranks):
+            for block in range(partition.blocks_per_rank):
+                if rank == target_rank and block == target_block:
+                    amplitudes = zero_block.copy()
+                    amplitudes[target_offset] = 1.0
+                    blob = compressor.compress(amplitudes.view(np.float64))
+                else:
+                    if zero_blob is None:
+                        zero_blob = compressor.compress(zero_block.view(np.float64))
+                    blob = zero_blob
+                self._store.put(
+                    rank,
+                    block,
+                    CompressedBlock(
+                        blob=blob, compressor=compressor.name, bound=compressor.bound
+                    ),
+                )
+
+    # -- structural accessors ---------------------------------------------------------
+
+    @property
+    def partition(self) -> Partition:
+        return self._partition
+
+    @property
+    def store(self) -> BlockStore:
+        return self._store
+
+    @property
+    def num_qubits(self) -> int:
+        return self._partition.num_qubits
+
+    # -- block-level access -------------------------------------------------------------
+
+    def get_block(self, rank: int, block: int) -> CompressedBlock:
+        return self._store.get(rank, block)
+
+    def put_block(
+        self, rank: int, block: int, blob: bytes, compressor: Compressor
+    ) -> None:
+        self._store.put(
+            rank,
+            block,
+            CompressedBlock(blob=blob, compressor=compressor.name, bound=compressor.bound),
+        )
+
+    def decompress_block(
+        self, rank: int, block: int, compressor: Compressor
+    ) -> np.ndarray:
+        """Decompress one block into a fresh complex128 array."""
+
+        blob = self._store.get(rank, block).blob
+        values = compressor.decompress(blob)
+        return values.view(np.complex128)
+
+    def iter_blocks(self) -> Iterator[tuple[tuple[int, int], CompressedBlock]]:
+        return iter(self._store)
+
+    # -- memory accounting ----------------------------------------------------------------
+
+    def compressed_bytes(self) -> int:
+        return self._store.compressed_bytes()
+
+    def footprint_bytes(self) -> int:
+        """Eq. 8: compressed blocks plus two scratch blocks per rank."""
+
+        return self._store.total_bytes_with_scratch()
+
+    def compression_ratio(self) -> float:
+        return self._store.compression_ratio()
+
+    def uncompressed_bytes(self) -> int:
+        return self._partition.uncompressed_bytes()
+
+    # -- state-level queries -----------------------------------------------------------------
+
+    def _decompressor_for(self, entry: CompressedBlock, fallback: Compressor) -> Compressor:
+        """Return a compressor able to decode *entry* (usually the fallback)."""
+
+        # All compressors in this codebase embed a self-describing header, and
+        # decompression only needs an instance of the same class; the caller
+        # passes the instance currently in use, which matches because the
+        # simulator recompresses every block it touches with that instance.
+        return fallback
+
+    def to_statevector(self, decompressors: dict[str, Compressor]) -> np.ndarray:
+        """Materialise the full dense state vector (small systems only).
+
+        ``decompressors`` maps compressor names to instances able to decode
+        blocks produced by them (the simulator provides this).
+        """
+
+        partition = self._partition
+        if partition.num_qubits > 26:
+            raise ValueError(
+                "refusing to materialise a state vector above 26 qubits"
+            )
+        state = np.empty(partition.total_amplitudes, dtype=np.complex128)
+        for (rank, block), entry in self._store:
+            decompressor = decompressors[entry.compressor]
+            values = decompressor.decompress(entry.blob).view(np.complex128)
+            start = partition.global_index(rank, block, 0)
+            state[start : start + partition.block_amplitudes] = values
+        return state
+
+    def norm_squared(self, decompressors: dict[str, Compressor]) -> float:
+        """Sum of squared magnitudes, computed blockwise (never densifying).
+
+        When a communicator is attached the per-rank partial sums go through
+        ``allreduce_sum`` so the collective traffic is accounted for, exactly
+        as an MPI implementation would do it.
+        """
+
+        per_rank = np.zeros(self._partition.num_ranks, dtype=np.float64)
+        for (rank, _block), entry in self._store:
+            decompressor = decompressors[entry.compressor]
+            values = decompressor.decompress(entry.blob).view(np.complex128)
+            per_rank[rank] += float(np.sum(np.abs(values) ** 2))
+        if self._comm is not None:
+            return self._comm.allreduce_sum(per_rank)
+        return float(per_rank.sum())
+
+    def probabilities_of_block(
+        self, rank: int, block: int, decompressors: dict[str, Compressor]
+    ) -> np.ndarray:
+        """``|a_i|^2`` for the amplitudes of one block."""
+
+        entry = self._store.get(rank, block)
+        values = decompressors[entry.compressor].decompress(entry.blob)
+        return np.abs(values.view(np.complex128)) ** 2

@@ -1,0 +1,115 @@
+"""Configuration of the compressed-state simulator.
+
+The defaults are laptop-scale versions of the paper's Theta configuration
+(128 ranks per node, 1,048,576 amplitudes = 16 MB per block, five relative
+error levels escalating from lossless to 1e-1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..compression.interface import PAPER_ERROR_LEVELS
+
+__all__ = ["SimulatorConfig", "PAPER_BLOCK_AMPLITUDES"]
+
+#: The paper's block size: 1,048,576 complex amplitudes = 16 MB per block.
+PAPER_BLOCK_AMPLITUDES = 1 << 20
+
+
+@dataclass
+class SimulatorConfig:
+    """Tunables of :class:`repro.core.simulator.CompressedSimulator`.
+
+    Parameters
+    ----------
+    num_ranks:
+        Simulated MPI ranks the state is partitioned over (power of two).
+    block_amplitudes:
+        Amplitudes per compressed block (power of two).  ``None`` picks a
+        sensible laptop-scale size: the paper's 2^20 when it fits, otherwise
+        enough blocks per rank to exercise the blocked code path.
+    memory_budget_bytes:
+        Total budget for all compressed blocks plus the two decompressed
+        scratch buffers per rank (Eq. 8).  ``None`` disables the adaptive
+        escalation (the simulator still compresses, it just never has to give
+        up accuracy).
+    error_levels:
+        The ladder of pointwise relative error bounds the adaptive controller
+        escalates through once lossless compression stops fitting.
+    lossy_compressor:
+        Registry name of the lossy compressor ("xor-bitplane" = Solution C,
+        the paper's choice; "sz", "sz-complex", "reshuffle" also work).
+    lossless_backend:
+        Backend for the lossless stage(s): "zlib", "lzma" or "bz2".
+    lossless_level:
+        Compression level passed to the lossless backend.
+    use_block_cache:
+        Enable the 64-line compressed block cache of Section 3.4.
+    cache_lines:
+        Number of cache lines when the cache is enabled.
+    cache_miss_disable_threshold:
+        Disable the cache after this many consecutive misses with zero hits
+        (the paper disables it when the hit rate is "always zero").
+    start_lossless:
+        Begin with lossless compression and only escalate to lossy when the
+        memory budget forces it (Section 3.7).  When ``False`` the simulator
+        starts directly at the first lossy level (used by the ablation bench).
+    track_fidelity_bound:
+        Maintain the Π(1 - δ_i) lower bound on simulation fidelity.
+    """
+
+    num_ranks: int = 1
+    block_amplitudes: int | None = None
+    memory_budget_bytes: int | None = None
+    error_levels: tuple[float, ...] = PAPER_ERROR_LEVELS
+    lossy_compressor: str = "xor-bitplane"
+    lossless_backend: str = "zlib"
+    lossless_level: int = 6
+    use_block_cache: bool = True
+    cache_lines: int = 64
+    cache_miss_disable_threshold: int = 256
+    start_lossless: bool = True
+    track_fidelity_bound: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_ranks < 1 or self.num_ranks & (self.num_ranks - 1):
+            raise ValueError("num_ranks must be a positive power of two")
+        if self.block_amplitudes is not None:
+            if self.block_amplitudes < 2 or self.block_amplitudes & (
+                self.block_amplitudes - 1
+            ):
+                raise ValueError("block_amplitudes must be a power of two >= 2")
+        if not self.error_levels:
+            raise ValueError("error_levels must contain at least one level")
+        levels = tuple(float(level) for level in self.error_levels)
+        if any(level <= 0 for level in levels):
+            raise ValueError("error levels must be positive")
+        if list(levels) != sorted(levels):
+            raise ValueError("error_levels must be sorted from tightest to loosest")
+        self.error_levels = levels
+        if self.cache_lines < 1:
+            raise ValueError("cache_lines must be >= 1")
+
+    def resolve_block_amplitudes(self, num_qubits: int, num_ranks: int) -> int:
+        """Pick the block size for a given problem when not set explicitly.
+
+        Prefers 4 or more blocks per rank (so the block-segment code path is
+        exercised) while keeping blocks no larger than the paper's 2^20
+        amplitudes.
+        """
+
+        per_rank = (1 << num_qubits) // num_ranks
+        if per_rank < 2:
+            raise ValueError("each rank must hold at least 2 amplitudes")
+        if self.block_amplitudes is not None:
+            if self.block_amplitudes > per_rank:
+                raise ValueError(
+                    f"block_amplitudes={self.block_amplitudes} exceeds the "
+                    f"{per_rank} amplitudes per rank"
+                )
+            return self.block_amplitudes
+        target = per_rank // 4
+        target = max(2, min(target, PAPER_BLOCK_AMPLITUDES))
+        # Round down to a power of two.
+        return 1 << (target.bit_length() - 1)

@@ -1,0 +1,167 @@
+"""Per-simulation bookkeeping: the time breakdown and summary of Table 2.
+
+The paper reports, for every benchmark run: total time, the percentage spent
+in compression / decompression / communication / computation, time per gate,
+the simulation fidelity (lower bound) and the minimum compression ratio seen
+during the run.  :class:`SimulationReport` accumulates exactly those numbers
+while the compressed simulator executes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Timer", "SimulationReport"]
+
+
+class Timer:
+    """Tiny context-manager stopwatch feeding a named bucket of a report."""
+
+    def __init__(self, report: "SimulationReport", bucket: str) -> None:
+        self._report = report
+        self._bucket = bucket
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        elapsed = time.perf_counter() - self._start
+        self._report.add_time(self._bucket, elapsed)
+
+
+@dataclass
+class SimulationReport:
+    """Aggregated metrics of one compressed-simulation run."""
+
+    num_qubits: int = 0
+    num_ranks: int = 1
+    block_amplitudes: int = 0
+    gates_executed: int = 0
+
+    compression_seconds: float = 0.0
+    decompression_seconds: float = 0.0
+    computation_seconds: float = 0.0
+    communication_seconds: float = 0.0
+    other_seconds: float = 0.0
+
+    communication_bytes: int = 0
+    block_exchanges: int = 0
+
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    #: Smallest compression ratio observed after any gate (Table 2, last row).
+    min_compression_ratio: float = float("inf")
+    #: Largest total footprint (compressed + scratch) observed, Eq. 8.
+    peak_footprint_bytes: int = 0
+
+    fidelity_lower_bound: float = 1.0
+    final_error_bound: float = 0.0
+    escalations: int = 0
+
+    _buckets: dict = field(default_factory=dict, repr=False)
+
+    # -- accumulation -----------------------------------------------------------------
+
+    def add_time(self, bucket: str, seconds: float) -> None:
+        attr = f"{bucket}_seconds"
+        if not hasattr(self, attr):
+            raise KeyError(f"unknown time bucket {bucket!r}")
+        setattr(self, attr, getattr(self, attr) + seconds)
+
+    def timer(self, bucket: str) -> Timer:
+        return Timer(self, bucket)
+
+    def observe_ratio(self, ratio: float) -> None:
+        if ratio < self.min_compression_ratio:
+            self.min_compression_ratio = ratio
+
+    def observe_footprint(self, footprint_bytes: int) -> None:
+        if footprint_bytes > self.peak_footprint_bytes:
+            self.peak_footprint_bytes = footprint_bytes
+
+    # -- derived quantities --------------------------------------------------------------
+
+    @property
+    def total_seconds(self) -> float:
+        return (
+            self.compression_seconds
+            + self.decompression_seconds
+            + self.computation_seconds
+            + self.communication_seconds
+            + self.other_seconds
+        )
+
+    @property
+    def seconds_per_gate(self) -> float:
+        if self.gates_executed == 0:
+            return 0.0
+        return self.total_seconds / self.gates_executed
+
+    def breakdown(self) -> dict[str, float]:
+        """Fractions of total time per bucket (the Table 2 percentage rows)."""
+
+        total = self.total_seconds
+        if total <= 0:
+            return {
+                "compression": 0.0,
+                "decompression": 0.0,
+                "communication": 0.0,
+                "computation": 0.0,
+                "other": 0.0,
+            }
+        return {
+            "compression": self.compression_seconds / total,
+            "decompression": self.decompression_seconds / total,
+            "communication": self.communication_seconds / total,
+            "computation": self.computation_seconds / total,
+            "other": self.other_seconds / total,
+        }
+
+    def as_dict(self) -> dict:
+        data = {
+            "num_qubits": self.num_qubits,
+            "num_ranks": self.num_ranks,
+            "block_amplitudes": self.block_amplitudes,
+            "gates_executed": self.gates_executed,
+            "total_seconds": self.total_seconds,
+            "seconds_per_gate": self.seconds_per_gate,
+            "communication_bytes": self.communication_bytes,
+            "block_exchanges": self.block_exchanges,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "min_compression_ratio": self.min_compression_ratio,
+            "peak_footprint_bytes": self.peak_footprint_bytes,
+            "fidelity_lower_bound": self.fidelity_lower_bound,
+            "final_error_bound": self.final_error_bound,
+            "escalations": self.escalations,
+        }
+        data.update({f"{k}_fraction": v for k, v in self.breakdown().items()})
+        return data
+
+    def summary(self) -> str:
+        """Multi-line human-readable summary (used by the examples)."""
+
+        breakdown = self.breakdown()
+        lines = [
+            f"qubits={self.num_qubits} ranks={self.num_ranks} "
+            f"block={self.block_amplitudes} gates={self.gates_executed}",
+            f"total time           : {self.total_seconds:.3f} s "
+            f"({self.seconds_per_gate * 1e3:.2f} ms/gate)",
+            f"  compression        : {breakdown['compression'] * 100:5.1f}%",
+            f"  decompression      : {breakdown['decompression'] * 100:5.1f}%",
+            f"  communication      : {breakdown['communication'] * 100:5.1f}%",
+            f"  computation        : {breakdown['computation'] * 100:5.1f}%",
+            f"communication volume : {self.communication_bytes / 2**20:.2f} MiB "
+            f"in {self.block_exchanges} block exchanges",
+            f"cache                : {self.cache_hits} hits / {self.cache_misses} misses",
+            f"min compression ratio: {self.min_compression_ratio:.2f}",
+            f"peak footprint       : {self.peak_footprint_bytes / 2**20:.2f} MiB",
+            f"fidelity lower bound : {self.fidelity_lower_bound:.6f}",
+            f"final error bound    : {self.final_error_bound:g}",
+            f"escalations          : {self.escalations}",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,406 @@
+"""The compressed-state quantum circuit simulator (the paper's contribution).
+
+:class:`CompressedSimulator` executes a circuit Schrödinger-style while the
+state vector stays compressed.  Per gate (Figure 2):
+
+1. The gate plan (:func:`repro.distributed.exchange.plan_gate`) lists which
+   (rank, block) buffers must be staged together, which depends on the target
+   qubit's index segment and the control qubits.
+2. For each task the compressed block cache is consulted; on a miss the block
+   (or block pair) is decompressed into the scratch pool, the 2x2 unitary is
+   applied with the vectorised kernels of :mod:`repro.statevector.ops`, and
+   the result is recompressed with the compressor chosen by the adaptive
+   error controller.
+3. Inter-rank tasks account their block exchange with the simulated
+   communicator; every task updates the time-breakdown report.
+4. After the gate, the memory footprint (Eq. 8) is compared against the
+   budget and the error bound escalates if needed; the fidelity tracker
+   records the bound that was in force.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable
+
+import numpy as np
+
+from ..circuits import Gate, QuantumCircuit
+from ..compression.interface import Compressor, get_compressor
+from ..distributed.comm import SimulatedCommunicator
+from ..distributed.exchange import BlockTask, GatePlan, plan_gate
+from ..distributed.partition import Partition, QubitSegment
+from ..statevector import ops
+from .adaptive import AdaptiveErrorController
+from .blocks import ScratchPool
+from .cache import BlockCache
+from .compressed_state import CompressedStateVector
+from .config import SimulatorConfig
+from .fidelity import FidelityTracker
+from .report import SimulationReport
+
+__all__ = ["CompressedSimulator"]
+
+
+class CompressedSimulator:
+    """Full-state simulator that keeps the state vector compressed in memory.
+
+    Parameters
+    ----------
+    num_qubits:
+        Register size.
+    config:
+        :class:`~repro.core.config.SimulatorConfig`; defaults are laptop-scale
+        equivalents of the paper's setup.
+    comm:
+        Optional pre-built :class:`SimulatedCommunicator` (for benches that
+        model interconnect bandwidth); one is created automatically otherwise.
+    initial_basis_state:
+        Basis state to start from (default ``|0...0>``, as in the paper's
+        benchmarks).
+    """
+
+    def __init__(
+        self,
+        num_qubits: int,
+        config: SimulatorConfig | None = None,
+        comm: SimulatedCommunicator | None = None,
+        initial_basis_state: int = 0,
+    ) -> None:
+        if num_qubits < 1:
+            raise ValueError("need at least one qubit")
+        self._config = config or SimulatorConfig()
+        self._num_qubits = int(num_qubits)
+
+        block_amplitudes = self._config.resolve_block_amplitudes(
+            num_qubits, self._config.num_ranks
+        )
+        self._partition = Partition(
+            num_qubits=num_qubits,
+            num_ranks=self._config.num_ranks,
+            block_amplitudes=block_amplitudes,
+        )
+        self._comm = comm or SimulatedCommunicator(self._config.num_ranks)
+        self._controller = AdaptiveErrorController(self._config)
+        self._scratch = ScratchPool(block_amplitudes, buffers=2)
+        self._cache = (
+            BlockCache(
+                lines=self._config.cache_lines,
+                miss_disable_threshold=self._config.cache_miss_disable_threshold,
+            )
+            if self._config.use_block_cache
+            else None
+        )
+        self._fidelity = FidelityTracker()
+        self._report = SimulationReport(
+            num_qubits=num_qubits,
+            num_ranks=self._config.num_ranks,
+            block_amplitudes=block_amplitudes,
+        )
+
+        # Decompression needs an instance of the same compressor class that
+        # produced a blob; bounds and backends are embedded in the blobs, so
+        # one instance per class suffices.
+        lossless = self._controller.lossless_compressor()
+        lossy = get_compressor(
+            self._config.lossy_compressor,
+            bound=self._config.error_levels[0],
+            backend=self._config.lossless_backend,
+            level=self._config.lossless_level,
+        )
+        self._decompressors: dict[str, Compressor] = {
+            lossless.name: lossless,
+            lossy.name: lossy,
+        }
+
+        self._state = CompressedStateVector(
+            partition=self._partition,
+            compressor=lossless if self._config.start_lossless else self._controller.compressor(),
+            comm=self._comm,
+            initial_basis_state=initial_basis_state,
+        )
+        self._gate_index = 0
+
+    # -- public accessors -----------------------------------------------------------
+
+    @property
+    def num_qubits(self) -> int:
+        return self._num_qubits
+
+    @property
+    def config(self) -> SimulatorConfig:
+        return self._config
+
+    @property
+    def partition(self) -> Partition:
+        return self._partition
+
+    @property
+    def state(self) -> CompressedStateVector:
+        return self._state
+
+    @property
+    def comm(self) -> SimulatedCommunicator:
+        return self._comm
+
+    @property
+    def cache(self) -> BlockCache | None:
+        return self._cache
+
+    @property
+    def controller(self) -> AdaptiveErrorController:
+        return self._controller
+
+    @property
+    def fidelity_tracker(self) -> FidelityTracker:
+        return self._fidelity
+
+    @property
+    def current_error_bound(self) -> float:
+        return self._controller.current_bound
+
+    @property
+    def gate_count(self) -> int:
+        return self._gate_index
+
+    # -- gate execution -----------------------------------------------------------------
+
+    def apply_circuit(self, circuit: QuantumCircuit | Iterable[Gate]) -> SimulationReport:
+        """Apply every gate of *circuit*; returns the (running) report."""
+
+        for gate in circuit:
+            self.apply_gate(gate)
+        return self.report()
+
+    run = apply_circuit
+
+    def apply_gate(self, gate: Gate) -> None:
+        """Apply a single gate to the compressed state."""
+
+        if gate.max_qubit() >= self._num_qubits:
+            raise ValueError(
+                f"gate {gate.name} touches qubit {gate.max_qubit()} outside the register"
+            )
+        plan = plan_gate(self._partition, gate)
+        compressor = self._controller.compressor()
+        op_key = gate.key() + (compressor.describe(),)
+        local_control_mask = self._local_control_mask(plan.local_controls)
+
+        for task in plan.tasks:
+            self._execute_task(gate, plan, task, compressor, op_key, local_control_mask)
+
+        self._gate_index += 1
+        self._report.gates_executed = self._gate_index
+        self._fidelity.record_gate(compressor.bound)
+
+        footprint = self._state.footprint_bytes()
+        self._report.observe_footprint(footprint)
+        self._report.observe_ratio(self._state.compression_ratio())
+        if self._controller.maybe_escalate(footprint, self._gate_index):
+            self._report.escalations += 1
+
+        self._sync_report()
+
+    # -- task execution ---------------------------------------------------------------------
+
+    def _local_control_mask(self, local_controls: tuple[int, ...]) -> np.ndarray | None:
+        """Boolean mask over block offsets selecting amplitudes whose local
+        control bits are all 1 (``None`` when there are no local controls)."""
+
+        if not local_controls:
+            return None
+        control_bits = 0
+        for control in local_controls:
+            control_bits |= 1 << control
+        offsets = np.arange(self._partition.block_amplitudes, dtype=np.int64)
+        return (offsets & control_bits) == control_bits
+
+    def _execute_task(
+        self,
+        gate: Gate,
+        plan: GatePlan,
+        task: BlockTask,
+        compressor: Compressor,
+        op_key: tuple,
+        local_control_mask: np.ndarray | None,
+    ) -> None:
+        rank1, block1 = task.first
+        entry1 = self._state.get_block(rank1, block1)
+        entry2 = None
+        if task.second is not None:
+            rank2, block2 = task.second
+            entry2 = self._state.get_block(rank2, block2)
+
+        if task.crosses_ranks and entry2 is not None:
+            # The pair of blocks lives on two ranks: each rank ships its
+            # compressed block to the other before the update (Section 3.3).
+            before = self._comm.modelled_seconds
+            self._comm.exchange_blocks(
+                task.first[0], task.second[0], max(entry1.nbytes, entry2.nbytes)
+            )
+            self._report.communication_seconds += self._comm.modelled_seconds - before
+
+        # Compressed block cache lookup (Section 3.4).
+        if self._cache is not None:
+            cached = self._cache.lookup(
+                op_key, entry1.blob, entry2.blob if entry2 else None
+            )
+            if cached is not None:
+                out1, out2 = cached
+                self._state.put_block(rank1, block1, out1, compressor)
+                if task.second is not None and out2 is not None:
+                    self._state.put_block(task.second[0], task.second[1], out2, compressor)
+                return
+
+        # Decompress into the scratch pool.
+        with self._report.timer("decompression"):
+            buffer1 = self._scratch.load(
+                0, self._decompressors[entry1.compressor].decompress(entry1.blob)
+            )
+            buffer2 = None
+            if entry2 is not None:
+                buffer2 = self._scratch.load(
+                    1, self._decompressors[entry2.compressor].decompress(entry2.blob)
+                )
+
+        # Apply the unitary.
+        with self._report.timer("computation"):
+            if task.second is None:
+                self._apply_local(gate, buffer1, plan.local_controls)
+            else:
+                self._apply_pairwise(gate, buffer1, buffer2, local_control_mask)
+
+        # Recompress and store.
+        with self._report.timer("compression"):
+            out1 = compressor.compress(buffer1.view(np.float64))
+            out2 = None
+            if buffer2 is not None:
+                out2 = compressor.compress(buffer2.view(np.float64))
+        self._state.put_block(rank1, block1, out1, compressor)
+        if task.second is not None and out2 is not None:
+            self._state.put_block(task.second[0], task.second[1], out2, compressor)
+
+        if self._cache is not None:
+            self._cache.insert(
+                op_key, entry1.blob, entry2.blob if entry2 else None, out1, out2
+            )
+
+    def _apply_local(
+        self, gate: Gate, buffer: np.ndarray, local_controls: tuple[int, ...]
+    ) -> None:
+        """Target qubit lies inside the block: in-buffer pair update."""
+
+        ops.apply_controlled_single_qubit(
+            buffer, gate.matrix, gate.target, tuple(local_controls)
+        )
+
+    def _apply_pairwise(
+        self,
+        gate: Gate,
+        buffer_x: np.ndarray,
+        buffer_y: np.ndarray,
+        local_control_mask: np.ndarray | None,
+    ) -> None:
+        """Target qubit selects the block or rank: cross-buffer pair update."""
+
+        if local_control_mask is None:
+            ops.apply_single_qubit_pairwise(buffer_x, buffer_y, gate.matrix)
+            return
+        u00, u01 = gate.matrix[0, 0], gate.matrix[0, 1]
+        u10, u11 = gate.matrix[1, 0], gate.matrix[1, 1]
+        a = buffer_x[local_control_mask]
+        b = buffer_y[local_control_mask]
+        buffer_x[local_control_mask] = u00 * a + u01 * b
+        buffer_y[local_control_mask] = u10 * a + u11 * b
+
+    # -- report plumbing ----------------------------------------------------------------------
+
+    def _sync_report(self) -> None:
+        self._report.communication_bytes = self._comm.stats.bytes_sent
+        self._report.block_exchanges = self._comm.stats.exchanges
+        if self._cache is not None:
+            self._report.cache_hits = self._cache.stats.hits
+            self._report.cache_misses = self._cache.stats.misses
+        self._report.fidelity_lower_bound = self._fidelity.lower_bound
+        self._report.final_error_bound = self._controller.current_bound
+        self._report.escalations = len(self._controller.events)
+
+    def report(self) -> SimulationReport:
+        """The up-to-date :class:`SimulationReport` for this simulation."""
+
+        self._sync_report()
+        return self._report
+
+    # -- state queries ------------------------------------------------------------------------
+
+    def statevector(self) -> np.ndarray:
+        """Materialise the dense state (small registers only)."""
+
+        return self._state.to_statevector(self._decompressors)
+
+    def norm_squared(self) -> float:
+        """Blockwise Σ|a_i|² (should stay ≈1 up to compression error)."""
+
+        return self._state.norm_squared(self._decompressors)
+
+    def probability_of(self, basis_state: int) -> float:
+        """Probability of one basis state, touching only its block."""
+
+        rank, block, offset = self._partition.locate(basis_state)
+        probs = self._state.probabilities_of_block(rank, block, self._decompressors)
+        return float(probs[offset])
+
+    def block_probabilities(self) -> np.ndarray:
+        """Total probability mass per (rank, block), flattened in rank-major order."""
+
+        totals = np.zeros(self._partition.total_blocks, dtype=np.float64)
+        for index, ((rank, block), _entry) in enumerate(self._state.iter_blocks()):
+            probs = self._state.probabilities_of_block(rank, block, self._decompressors)
+            totals[index] = probs.sum()
+        return totals
+
+    def sample_counts(
+        self, shots: int, rng: np.random.Generator | None = None
+    ) -> dict[int, int]:
+        """Sample basis states without ever materialising the full vector.
+
+        A block is drawn from the per-block probability mass first, then an
+        offset within the (decompressed) block — two-level alias-free
+        sampling that only decompresses the blocks actually hit.
+        """
+
+        if shots < 0:
+            raise ValueError("shots must be non-negative")
+        if rng is None:
+            rng = np.random.default_rng()
+        block_mass = self.block_probabilities()
+        total = block_mass.sum()
+        if total <= 0:
+            raise ValueError("cannot sample from a zero state")
+        block_probs = block_mass / total
+        chosen_blocks = rng.choice(block_mass.size, size=shots, p=block_probs)
+        counts: dict[int, int] = {}
+        partition = self._partition
+        for block_index in np.unique(chosen_blocks):
+            rank = int(block_index) // partition.blocks_per_rank
+            block = int(block_index) % partition.blocks_per_rank
+            probs = self._state.probabilities_of_block(rank, block, self._decompressors)
+            mass = probs.sum()
+            if mass <= 0:
+                continue
+            n_hits = int(np.sum(chosen_blocks == block_index))
+            offsets = rng.choice(probs.size, size=n_hits, p=probs / mass)
+            base = partition.global_index(rank, block, 0)
+            for offset in offsets:
+                key = base + int(offset)
+                counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def fidelity_vs(self, reference_state: np.ndarray) -> float:
+        """Exact pure-state fidelity against a dense reference (Eq. 9)."""
+
+        state = self.statevector()
+        norm = np.linalg.norm(state) * np.linalg.norm(reference_state)
+        if norm == 0:
+            return 0.0
+        return float(abs(np.vdot(reference_state, state)) / norm)

@@ -1,0 +1,15 @@
+"""Distributed decomposition substrate: partitioning, planning, communication."""
+
+from .partition import Partition, QubitSegment
+from .comm import CommunicationStats, SimulatedCommunicator
+from .exchange import BlockTask, GatePlan, plan_gate
+
+__all__ = [
+    "Partition",
+    "QubitSegment",
+    "SimulatedCommunicator",
+    "CommunicationStats",
+    "BlockTask",
+    "GatePlan",
+    "plan_gate",
+]

@@ -1,0 +1,155 @@
+"""Simulated MPI communicator.
+
+The paper runs Intel-QS over MPI on up to 4,096 Theta nodes.  mpi4py is not
+available in this environment, so the reproduction models the communication
+layer explicitly instead: every rank's compressed blocks live in one process,
+and :class:`SimulatedCommunicator` records the traffic (messages and bytes)
+that a real MPI execution would have generated — the quantity behind the
+"Communication Time" rows of Table 2.
+
+The interface intentionally mirrors the small subset of MPI that the
+simulator needs (point-to-point block exchange, allreduce for norms, a
+barrier), so a real ``mpi4py``-backed communicator could be swapped in
+without touching the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["CommunicationStats", "SimulatedCommunicator"]
+
+
+@dataclass
+class CommunicationStats:
+    """Aggregate counters of simulated inter-rank traffic."""
+
+    messages: int = 0
+    bytes_sent: int = 0
+    exchanges: int = 0
+    allreduces: int = 0
+    barriers: int = 0
+
+    def reset(self) -> None:
+        self.messages = 0
+        self.bytes_sent = 0
+        self.exchanges = 0
+        self.allreduces = 0
+        self.barriers = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "messages": self.messages,
+            "bytes_sent": self.bytes_sent,
+            "exchanges": self.exchanges,
+            "allreduces": self.allreduces,
+            "barriers": self.barriers,
+        }
+
+
+class SimulatedCommunicator:
+    """In-process stand-in for an MPI communicator over *num_ranks* ranks.
+
+    Parameters
+    ----------
+    num_ranks:
+        Number of simulated ranks.
+    bandwidth_bytes_per_s:
+        Optional modelled interconnect bandwidth.  When set, the communicator
+        accumulates a *modelled* communication time
+        (``bytes / bandwidth + messages * latency``) which the reports can
+        show alongside measured wall-clock time.
+    latency_s:
+        Optional modelled per-message latency.
+    """
+
+    def __init__(
+        self,
+        num_ranks: int,
+        bandwidth_bytes_per_s: float | None = None,
+        latency_s: float = 0.0,
+    ) -> None:
+        if num_ranks < 1:
+            raise ValueError("num_ranks must be >= 1")
+        self._num_ranks = int(num_ranks)
+        self._bandwidth = bandwidth_bytes_per_s
+        self._latency = float(latency_s)
+        self.stats = CommunicationStats()
+        self._modelled_seconds = 0.0
+
+    @property
+    def num_ranks(self) -> int:
+        return self._num_ranks
+
+    @property
+    def modelled_seconds(self) -> float:
+        """Modelled communication time (0 when no bandwidth model is set)."""
+
+        return self._modelled_seconds
+
+    # -- traffic accounting -------------------------------------------------------
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self._num_ranks:
+            raise ValueError(f"rank {rank} out of range (0..{self._num_ranks - 1})")
+
+    def _account(self, num_bytes: int, messages: int) -> None:
+        self.stats.messages += messages
+        self.stats.bytes_sent += num_bytes
+        if self._bandwidth:
+            self._modelled_seconds += num_bytes / self._bandwidth
+        self._modelled_seconds += messages * self._latency
+
+    def send(self, source: int, dest: int, num_bytes: int) -> None:
+        """Record a point-to-point message of *num_bytes* from source to dest."""
+
+        self._check_rank(source)
+        self._check_rank(dest)
+        if source == dest:
+            return
+        self._account(num_bytes, 1)
+
+    def exchange_blocks(self, rank_a: int, rank_b: int, num_bytes: int) -> None:
+        """Record a symmetric block exchange between two ranks.
+
+        This is the operation triggered by gates whose target qubit lies in
+        the rank segment (Section 3.3, third bullet): each rank sends one
+        compressed block to the other.
+        """
+
+        self._check_rank(rank_a)
+        self._check_rank(rank_b)
+        if rank_a == rank_b:
+            return
+        self.stats.exchanges += 1
+        self._account(2 * num_bytes, 2)
+
+    # -- collectives ------------------------------------------------------------------
+
+    def allreduce_sum(self, per_rank_values: np.ndarray | list[float]) -> float:
+        """Sum a per-rank scalar, recording the collective."""
+
+        values = np.asarray(per_rank_values, dtype=np.float64)
+        if values.size != self._num_ranks:
+            raise ValueError(
+                f"expected one value per rank ({self._num_ranks}), got {values.size}"
+            )
+        self.stats.allreduces += 1
+        # A recursive-doubling allreduce moves log2(r) messages of 8 bytes per
+        # rank; account for it so communication volume scales with rank count.
+        rounds = max(1, self._num_ranks.bit_length() - 1)
+        self._account(8 * self._num_ranks * rounds, self._num_ranks * rounds)
+        return float(values.sum())
+
+    def barrier(self) -> None:
+        """Record a barrier (no data volume)."""
+
+        self.stats.barriers += 1
+
+    def reset(self) -> None:
+        """Clear all counters."""
+
+        self.stats.reset()
+        self._modelled_seconds = 0.0

@@ -1,0 +1,38 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.datasets import qaoa_state, supremacy_state
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator for reproducible tests."""
+
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def qaoa_snapshot() -> np.ndarray:
+    """Small QAOA state snapshot (float64 interleaved view), shared per session."""
+
+    return qaoa_state(num_qubits=12, seed=3).view(np.float64)
+
+
+@pytest.fixture(scope="session")
+def sup_snapshot() -> np.ndarray:
+    """Small supremacy-circuit state snapshot (float64 interleaved view)."""
+
+    return supremacy_state(num_qubits=12, depth=8, seed=3).view(np.float64)
+
+
+@pytest.fixture
+def spiky_data(rng: np.random.Generator) -> np.ndarray:
+    """Synthetic spiky data resembling quantum amplitudes (Figure 9 style)."""
+
+    magnitudes = np.exp(rng.normal(-9.0, 2.0, size=8192))
+    signs = rng.choice([-1.0, 1.0], size=8192)
+    return magnitudes * signs

@@ -1,0 +1,155 @@
+"""Tests for the analysis substrate: memory model, snapshots, spikiness, reporting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    PAPER_SUPERCOMPUTERS,
+    Supercomputer,
+    format_series,
+    format_table,
+    max_qubits_for_memory,
+    memory_with_compression,
+    qubit_gain_from_ratio,
+    snapshot,
+    spikiness_stats,
+    state_vector_bytes,
+    table1_rows,
+    value_windows,
+)
+from repro.analysis.datasets import qaoa_state, supremacy_state
+
+
+class TestMemoryModel:
+    def test_state_vector_bytes_formula(self):
+        # 2^(n+4) bytes: a 45-qubit state needs 0.5 PB (the Cori figure the
+        # paper quotes), 61 qubits need 32 EB.
+        assert state_vector_bytes(45) == 1 << 49
+        assert state_vector_bytes(61) == 1 << 65
+        assert state_vector_bytes(61) / 2**60 == pytest.approx(32.0)
+
+    def test_state_vector_bytes_validation(self):
+        with pytest.raises(ValueError):
+            state_vector_bytes(0)
+
+    def test_max_qubits_for_memory(self):
+        assert max_qubits_for_memory(1 << 49) == 45
+        assert max_qubits_for_memory(0.9 * (1 << 49)) == 44
+        with pytest.raises(ValueError):
+            max_qubits_for_memory(1)
+
+    def test_table1_matches_paper(self):
+        rows = {row["system"]: row["max_qubits"] for row in table1_rows()}
+        assert rows == {
+            "Summit": 47,
+            "Sierra": 46,
+            "Sunway TaihuLight": 46,
+            "Theta": 45,
+        }
+
+    def test_qubit_gain_from_ratio(self):
+        # Table 2 extremes: ratio 4.85 -> ~2.3 qubits, 7.39e4 -> ~16 qubits,
+        # the source of the "2 to 16 qubits" claim.
+        assert 2.0 < qubit_gain_from_ratio(4.85) < 2.5
+        assert 16.0 < qubit_gain_from_ratio(7.39e4) < 16.5
+        with pytest.raises(ValueError):
+            qubit_gain_from_ratio(0.0)
+
+    def test_memory_with_compression(self):
+        # 61-qubit Grover at the measured 7.39e4 ratio fits in under 1 PB.
+        compressed = memory_with_compression(61, 7.39e4)
+        assert compressed < 0.8 * 2**50
+        with pytest.raises(ValueError):
+            memory_with_compression(61, 0)
+
+    def test_supercomputer_with_ratio(self):
+        theta = next(m for m in PAPER_SUPERCOMPUTERS if m.name == "Theta")
+        assert theta.max_qubits == 45
+        # A 16x compression ratio buys 4 qubits.
+        assert theta.max_qubits_with_ratio(16.0) == 49
+
+    def test_custom_supercomputer(self):
+        aurora = Supercomputer("Aurora", 10.0)
+        assert aurora.max_qubits >= 48
+
+
+class TestSnapshots:
+    def test_snapshot_kinds(self):
+        assert snapshot("qaoa", 10).dtype == np.float64
+        assert snapshot("sup", 10).dtype == np.float64
+        with pytest.raises(ValueError):
+            snapshot("bogus", 10)
+
+    def test_snapshot_is_interleaved_view_of_normalised_state(self):
+        data = snapshot("qaoa", 10)
+        state = data.view(np.complex128)
+        assert np.abs(np.vdot(state, state)) == pytest.approx(1.0, abs=1e-9)
+        assert data.size == 2 * state.size
+
+    def test_states_are_cached(self):
+        a = qaoa_state(num_qubits=10, seed=1)
+        b = qaoa_state(num_qubits=10, seed=1)
+        assert a is b
+
+    def test_states_are_read_only(self):
+        state = supremacy_state(num_qubits=10, seed=1)
+        with pytest.raises(ValueError):
+            state[0] = 0.0
+
+    def test_different_kinds_differ(self):
+        assert not np.array_equal(snapshot("qaoa", 10), snapshot("sup", 10))
+
+
+class TestSpikiness:
+    def test_quantum_snapshots_are_spiky(self):
+        stats = spikiness_stats(snapshot("sup", 12))
+        # Far from smooth: neighbouring amplitudes are nearly uncorrelated.
+        assert abs(stats.lag1_autocorrelation) < 0.3
+        assert stats.normalized_roughness > 0.5
+
+    def test_smooth_signal_is_not_spiky(self):
+        smooth = np.sin(np.linspace(0, 3 * np.pi, 5000))
+        stats = spikiness_stats(smooth)
+        assert stats.lag1_autocorrelation > 0.99
+        assert stats.normalized_roughness < 0.01
+
+    def test_value_windows_default(self):
+        data = np.arange(20000, dtype=np.float64)
+        windows = value_windows(data)
+        assert "0:10000" in windows
+        assert windows["1000:1050"].size == 50
+
+    def test_value_windows_clamped_to_data(self):
+        windows = value_windows(np.arange(30, dtype=np.float64), [(0, 100)])
+        (values,) = windows.values()
+        assert values.size == 30
+
+    def test_tiny_input(self):
+        stats = spikiness_stats(np.array([1.0]))
+        assert stats.mean_abs_diff == 0.0
+
+
+class TestReportFormatting:
+    def test_format_table_basic(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.125}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "b"]
+        assert "10" in lines[3]
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_format_table_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_format_series(self):
+        text = format_series(
+            "qubits", {"time": [1.0, 2.0]}, x_values=[4, 5]
+        )
+        assert "qubits" in text and "time" in text
+        assert len(text.splitlines()) == 4

@@ -1,0 +1,228 @@
+"""Tests for the benchmark circuit generators (Grover, RCS, QAOA, QFT, Hadamard)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.applications import (
+    GridSpec,
+    cut_size,
+    cz_pattern,
+    expected_cut_from_counts,
+    grover_circuit,
+    grover_square_root_circuit,
+    hadamard_layers_circuit,
+    hadamard_scaling_circuit,
+    marked_state_for_square_root,
+    maxcut_value,
+    optimal_iterations,
+    qaoa_maxcut_circuit,
+    qft_benchmark_circuit,
+    qft_reference_state,
+    random_regular_graph,
+    random_supremacy_circuit,
+)
+from repro.statevector import DenseSimulator, simulate_statevector
+
+
+class TestGrover:
+    def test_optimal_iterations_formula(self):
+        # pi/4 * sqrt(N) for a single marked state.
+        assert optimal_iterations(10, 1) == round(math.pi / 4 * math.sqrt(1024) - 0.5)
+        assert optimal_iterations(4, 1) == 3
+
+    def test_optimal_iterations_validation(self):
+        with pytest.raises(ValueError):
+            optimal_iterations(3, 0)
+        with pytest.raises(ValueError):
+            optimal_iterations(2, 4)
+
+    @pytest.mark.parametrize("num_qubits,marked", [(6, 17), (8, 200), (9, 1)])
+    def test_amplifies_marked_state(self, num_qubits, marked):
+        state = simulate_statevector(grover_circuit(num_qubits, marked))
+        probability = abs(state[marked]) ** 2
+        assert probability > 0.9
+
+    def test_multiple_marked_states(self):
+        marked = (3, 12)
+        state = simulate_statevector(grover_circuit(6, marked))
+        total = sum(abs(state[m]) ** 2 for m in marked)
+        assert total > 0.9
+
+    def test_oracle_uses_only_x_and_controlled_z_and_h(self):
+        circuit = grover_circuit(6, 5)
+        names = {gate.name for gate in circuit}
+        assert names <= {"h", "x", "z"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            grover_circuit(4, 100)
+        with pytest.raises(ValueError):
+            grover_circuit(4, [])
+        with pytest.raises(ValueError):
+            grover_circuit(4, 1, iterations=0)
+
+    def test_square_root_oracle(self):
+        num_qubits = 6
+        square = 25
+        root = marked_state_for_square_root(num_qubits, square)
+        assert (root * root) % (1 << num_qubits) == square
+        state = simulate_statevector(grover_square_root_circuit(num_qubits, square))
+        probs = np.abs(state) ** 2
+        winners = np.argsort(probs)[::-1][:4]
+        assert all((int(w) ** 2) % (1 << num_qubits) == square for w in winners)
+
+    def test_square_root_non_residue_rejected(self):
+        with pytest.raises(ValueError):
+            grover_square_root_circuit(4, 3)  # 3 is not a QR mod 16
+
+
+class TestRandomSupremacyCircuit:
+    def test_grid_spec(self):
+        grid = GridSpec(3, 4)
+        assert grid.num_qubits == 12
+        assert grid.index(2, 3) == 11
+        with pytest.raises(ValueError):
+            GridSpec(0, 4)
+
+    def test_cz_patterns_are_valid_neighbour_pairs(self):
+        grid = GridSpec(4, 5)
+        for layer in range(8):
+            for a, b in cz_pattern(grid, layer):
+                ra, ca = divmod(a, grid.cols)
+                rb, cb = divmod(b, grid.cols)
+                assert abs(ra - rb) + abs(ca - cb) == 1
+
+    def test_cz_pattern_no_qubit_reuse_within_layer(self):
+        grid = GridSpec(4, 4)
+        for layer in range(8):
+            qubits = [q for pair in cz_pattern(grid, layer) for q in pair]
+            assert len(qubits) == len(set(qubits))
+
+    def test_circuit_structure(self):
+        circuit = random_supremacy_circuit(3, 4, depth=8, seed=11)
+        assert circuit.num_qubits == 12
+        # Starts with a Hadamard on every qubit.
+        assert all(gate.name == "h" for gate in circuit.gates[:12])
+        names = {gate.name for gate in circuit}
+        assert "z" in names  # CZ gates present
+        assert names & {"t", "sx", "ry"}  # single-qubit layer gates present
+
+    def test_seed_reproducibility(self):
+        a = random_supremacy_circuit(3, 3, depth=6, seed=5)
+        b = random_supremacy_circuit(3, 3, depth=6, seed=5)
+        c = random_supremacy_circuit(3, 3, depth=6, seed=6)
+        assert a == b
+        assert a != c
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            random_supremacy_circuit(2, 2, depth=0)
+
+    def test_entangles_the_register(self):
+        circuit = random_supremacy_circuit(3, 4, depth=16, seed=2)
+        state = simulate_statevector(circuit)
+        probs = np.abs(state) ** 2
+        # The distribution spreads over many outcomes with no dominant one
+        # (a small grid does not reach Porter-Thomas, but it must be far from
+        # a basis state or a uniform superposition).
+        assert probs.max() < 0.05
+        assert np.unique(np.round(probs, 12)).size > 20
+
+
+class TestQAOA:
+    def test_random_regular_graph_degree(self):
+        graph = random_regular_graph(10, degree=4, seed=1)
+        assert all(degree == 4 for _, degree in graph.degree())
+
+    def test_regular_graph_validation(self):
+        with pytest.raises(ValueError):
+            random_regular_graph(4, degree=4)
+        with pytest.raises(ValueError):
+            random_regular_graph(7, degree=3)
+
+    def test_circuit_gate_count(self):
+        graph = random_regular_graph(8, degree=4, seed=1)
+        circuit = qaoa_maxcut_circuit(graph, gammas=[0.4], betas=[0.7])
+        # n Hadamards + 3 gates per edge + n mixers.
+        expected = 8 + 3 * graph.number_of_edges() + 8
+        assert len(circuit) == expected
+
+    def test_parameter_validation(self):
+        graph = random_regular_graph(8, degree=4, seed=1)
+        with pytest.raises(ValueError):
+            qaoa_maxcut_circuit(graph, [0.1], [0.2, 0.3])
+        with pytest.raises(ValueError):
+            qaoa_maxcut_circuit(graph, [], [])
+
+    def test_cut_helpers(self):
+        graph = random_regular_graph(8, degree=4, seed=3)
+        assert cut_size(graph, 0) == 0
+        assert cut_size(graph, (1 << 8) - 1) == 0
+        best = maxcut_value(graph)
+        assert 0 < best <= graph.number_of_edges()
+        counts = {0: 5, (1 << 8) - 1: 5}
+        assert expected_cut_from_counts(graph, counts) == 0.0
+        assert expected_cut_from_counts(graph, {}) == 0.0
+
+    def test_qaoa_biases_towards_large_cuts(self, rng):
+        graph = random_regular_graph(8, degree=4, seed=5)
+        # Angles found by a coarse classical sweep for this graph; the point
+        # of the test is only that the circuit biases sampling toward large
+        # cuts, not that the angles are optimal.
+        circuit = qaoa_maxcut_circuit(graph, gammas=[0.2], betas=[1.2])
+        simulator = DenseSimulator(8)
+        simulator.apply_circuit(circuit)
+        counts = simulator.sample_counts(2000, rng)
+        average_cut = expected_cut_from_counts(graph, counts)
+        edges = graph.number_of_edges()
+        # Random guessing cuts half the edges on average; one QAOA layer with
+        # decent angles must do measurably better.
+        assert average_cut > edges / 2 + 0.5
+
+
+class TestQFTBenchmark:
+    def test_reference_state_formula(self):
+        state = qft_reference_state(4, 3)
+        assert np.abs(np.vdot(state, state)) == pytest.approx(1.0)
+        circuit_state = simulate_statevector(qft_benchmark_circuit(4, seed=0))
+        assert np.abs(np.vdot(circuit_state, circuit_state)) == pytest.approx(1.0)
+
+    def test_benchmark_circuit_matches_reference(self):
+        seed = 42
+        num_qubits = 6
+        circuit = qft_benchmark_circuit(num_qubits, seed=seed)
+        state = simulate_statevector(circuit)
+        basis = int(np.random.default_rng(seed).integers(1 << num_qubits))
+        expected = qft_reference_state(num_qubits, basis)
+        assert np.allclose(state, expected, atol=1e-10)
+
+    def test_reference_state_validation(self):
+        with pytest.raises(ValueError):
+            qft_reference_state(3, 8)
+
+    def test_gate_count_grows_quadratically(self):
+        # Doubling the register size should far more than double the gate
+        # count (the controlled-phase ladder is quadratic in n).
+        small = len(qft_benchmark_circuit(6, seed=1))
+        large = len(qft_benchmark_circuit(12, seed=1))
+        assert large >= 2.8 * small
+
+
+class TestHadamardWorkload:
+    def test_scaling_circuit_is_one_gate_per_qubit(self):
+        circuit = hadamard_scaling_circuit(9)
+        assert len(circuit) == 9
+        assert all(gate.name == "h" for gate in circuit)
+
+    def test_layers_circuit_round_trips_to_zero_state(self):
+        circuit = hadamard_layers_circuit(5, layers=2)
+        state = simulate_statevector(circuit)
+        assert abs(state[0]) == pytest.approx(1.0)
+
+    def test_layers_validation(self):
+        with pytest.raises(ValueError):
+            hadamard_layers_circuit(4, layers=0)

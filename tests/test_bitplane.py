@@ -1,0 +1,143 @@
+"""Unit tests for the bit-plane / XOR leading-zero primitives (Solution C core)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression import bitplane
+from repro.compression.interface import CompressorError
+
+
+class TestSignificantBitCount:
+    def test_paper_example_exp_of_bound(self):
+        # Eq. 12 example: EXP(0.01) = -7, so 12 - (-7) = 19 significant bits.
+        assert bitplane.significant_bit_count(0.01) == 19
+
+    @pytest.mark.parametrize(
+        "bound,expected",
+        [(1e-1, 12 + 4), (1e-2, 12 + 7), (1e-3, 12 + 10), (1e-4, 12 + 14), (1e-5, 12 + 17)],
+    )
+    def test_paper_error_levels(self, bound, expected):
+        assert bitplane.significant_bit_count(bound) == expected
+
+    def test_monotone_in_bound(self):
+        counts = [bitplane.significant_bit_count(b) for b in (1e-1, 1e-3, 1e-6, 1e-9)]
+        assert counts == sorted(counts)
+
+    def test_bound_of_one_keeps_sign_exponent_only(self):
+        assert bitplane.significant_bit_count(1.0) == bitplane.DOUBLE_SIGN_EXP_BITS
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(CompressorError):
+            bitplane.significant_bit_count(0.0)
+
+    def test_bytes_to_keep_rounds_up(self):
+        assert bitplane.bytes_to_keep(1e-2) == 3  # 19 bits -> 3 bytes
+        assert bitplane.bytes_to_keep(1e-1) == 2  # 16 bits -> 2 bytes
+        assert 1 <= bitplane.bytes_to_keep(1e-15) <= 8
+
+
+class TestTruncation:
+    def test_truncation_never_increases_magnitude(self, rng):
+        data = rng.normal(size=2000) * np.exp(rng.normal(size=2000))
+        truncated = bitplane.truncate_bitplanes(data, 24)
+        assert np.all(np.abs(truncated) <= np.abs(data))
+
+    @pytest.mark.parametrize("bound", [1e-1, 1e-2, 1e-3, 1e-4, 1e-5])
+    def test_truncation_respects_relative_bound(self, bound, rng):
+        data = rng.normal(size=4096) * np.exp(rng.normal(size=4096) * 2)
+        keep_bits = bitplane.bytes_to_keep(bound) * 8
+        truncated = bitplane.truncate_bitplanes(data, keep_bits)
+        rel = np.abs(data - truncated) / np.abs(data)
+        assert rel.max() <= bound
+
+    def test_keep_all_bits_is_identity(self, rng):
+        data = rng.normal(size=64)
+        assert np.array_equal(bitplane.truncate_bitplanes(data, 64), data)
+
+    def test_sign_preserved(self):
+        data = np.array([-1.2345678, 3.14159, -0.001])
+        truncated = bitplane.truncate_bitplanes(data, 20)
+        assert np.array_equal(np.sign(truncated), np.sign(data))
+
+    def test_zero_stays_zero(self):
+        assert bitplane.truncate_bitplanes(np.zeros(8), 16).sum() == 0.0
+
+    def test_invalid_keep_bits(self):
+        with pytest.raises(CompressorError):
+            bitplane.truncate_bitplanes(np.zeros(4), 0)
+        with pytest.raises(CompressorError):
+            bitplane.truncate_bitplanes(np.zeros(4), 65)
+
+    def test_truncation_table_matches_figure13(self):
+        # Figure 13(b) uses 3.9921875 and lists 3.984375, 3.96875, ... as the
+        # values reached by dropping successive mantissa bits.
+        rows = bitplane.truncation_table(3.9921875, max_mantissa_bits=10)
+        values = {row["value"] for row in rows}
+        assert {3.9921875, 3.984375, 3.96875, 3.9375, 3.875, 3.75, 3.5}.issubset(values)
+        # Relative errors grow monotonically as more bits are dropped.
+        errors = [row["relative_error"] for row in rows]
+        assert errors == sorted(errors)
+
+
+class TestXorDelta:
+    def test_encode_decode_roundtrip(self, rng):
+        words = rng.integers(0, 2**63, size=1000, dtype=np.int64).astype(np.uint64)
+        assert np.array_equal(
+            bitplane.xor_delta_decode(bitplane.xor_delta_encode(words)), words
+        )
+
+    def test_first_word_unchanged(self):
+        words = np.array([12345, 999, 999], dtype=np.uint64)
+        xored = bitplane.xor_delta_encode(words)
+        assert xored[0] == 12345
+        assert xored[2] == 0  # identical consecutive words XOR to zero
+
+    def test_empty_input(self):
+        empty = np.zeros(0, dtype=np.uint64)
+        assert bitplane.xor_delta_encode(empty).size == 0
+        assert bitplane.xor_delta_decode(empty).size == 0
+
+
+class TestLeadingZeroStream:
+    @pytest.mark.parametrize("keep_bytes", [1, 2, 3, 5, 8])
+    def test_pack_unpack_roundtrip(self, keep_bytes, rng):
+        data = rng.normal(size=500) * np.exp(rng.normal(size=500))
+        truncated = bitplane.truncate_bitplanes(data, keep_bytes * 8)
+        xored = bitplane.xor_delta_encode(truncated.view(np.uint64))
+        codes, suffix = bitplane.pack_leading_zero_stream(xored, keep_bytes)
+        recovered = bitplane.unpack_leading_zero_stream(
+            codes, suffix, data.size, keep_bytes
+        )
+        assert np.array_equal(recovered, xored)
+
+    def test_identical_values_produce_short_suffix(self):
+        words = np.full(256, np.float64(0.5).view(np.uint64) if False else 4602678819172646912, dtype=np.uint64)
+        xored = bitplane.xor_delta_encode(words)
+        codes, suffix = bitplane.pack_leading_zero_stream(xored, 8)
+        # After the first word every XOR is zero: 3 leading zero bytes coded,
+        # so at most 5 suffix bytes per word remain.
+        assert len(suffix) <= 8 + (words.size - 1) * 5
+
+    def test_zero_count(self):
+        recovered = bitplane.unpack_leading_zero_stream(b"", b"", 0, 4)
+        assert recovered.size == 0
+
+    def test_suffix_length_mismatch_raises(self):
+        words = np.arange(16, dtype=np.uint64)
+        codes, suffix = bitplane.pack_leading_zero_stream(words, 4)
+        with pytest.raises(CompressorError):
+            bitplane.unpack_leading_zero_stream(codes, suffix[:-1], 16, 4)
+
+    def test_invalid_keep_bytes(self):
+        with pytest.raises(CompressorError):
+            bitplane.pack_leading_zero_stream(np.zeros(4, dtype=np.uint64), 0)
+
+    def test_leading_zero_byte_counts(self):
+        # 0x00000000000000FF has 7 leading zero bytes -> clamped to 3.
+        words = np.array([0xFF, 0xFF00000000000000, 0], dtype=np.uint64)
+        counts = bitplane.leading_zero_bytes(words, 8)
+        assert counts[0] == 3  # clamped two-bit code
+        assert counts[1] == 0
+        assert counts[2] == 3

@@ -1,0 +1,96 @@
+"""Tests for simulation checkpoint/restart (Section 3.5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import qft_circuit
+from repro.core import (
+    CheckpointError,
+    CompressedSimulator,
+    SimulatorConfig,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.statevector import simulate_statevector, state_fidelity
+
+
+def _config(**kwargs) -> SimulatorConfig:
+    defaults = dict(num_ranks=2, block_amplitudes=32)
+    defaults.update(kwargs)
+    return SimulatorConfig(**defaults)
+
+
+class TestCheckpointRoundTrip:
+    def test_resume_reproduces_uninterrupted_run(self, tmp_path):
+        num_qubits = 8
+        circuit = qft_circuit(num_qubits)
+        gates = list(circuit)
+        split = len(gates) // 2
+
+        # Uninterrupted run.
+        full = CompressedSimulator(num_qubits, _config())
+        full.apply_circuit(gates)
+
+        # Interrupted run: first half, checkpoint, restore, second half.
+        first = CompressedSimulator(num_qubits, _config())
+        first.apply_circuit(gates[:split])
+        path = tmp_path / "ckpt.bin"
+        written = save_checkpoint(first, path)
+        assert written == path.stat().st_size
+        resumed = load_checkpoint(path)
+        resumed.apply_circuit(gates[split:])
+
+        assert state_fidelity(resumed.statevector(), full.statevector()) == pytest.approx(
+            1.0, abs=1e-10
+        )
+        assert resumed.gate_count == len(gates)
+
+    def test_checkpoint_preserves_metadata(self, tmp_path):
+        config = _config(start_lossless=False, error_levels=(1e-3, 1e-1))
+        simulator = CompressedSimulator(7, config)
+        simulator.apply_circuit(qft_circuit(7))
+        path = tmp_path / "ckpt.bin"
+        save_checkpoint(simulator, path)
+        resumed = load_checkpoint(path)
+        assert resumed.num_qubits == 7
+        assert resumed.partition.num_ranks == 2
+        assert resumed.controller.current_bound == 1e-3
+        assert resumed.fidelity_tracker.num_gates == simulator.gate_count
+        assert resumed.fidelity_tracker.lower_bound == pytest.approx(
+            simulator.fidelity_tracker.lower_bound
+        )
+
+    def test_checkpoint_matches_dense_after_resume(self, tmp_path):
+        circuit = qft_circuit(7)
+        gates = list(circuit)
+        simulator = CompressedSimulator(7, _config())
+        simulator.apply_circuit(gates[:20])
+        path = tmp_path / "ckpt.bin"
+        save_checkpoint(simulator, path)
+        resumed = load_checkpoint(path)
+        resumed.apply_circuit(gates[20:])
+        dense = simulate_statevector(circuit)
+        assert np.allclose(resumed.statevector(), dense, atol=1e-10)
+
+    def test_explicit_config_mismatch_rejected(self, tmp_path):
+        simulator = CompressedSimulator(6, _config())
+        path = tmp_path / "ckpt.bin"
+        save_checkpoint(simulator, path)
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path, config=SimulatorConfig(num_ranks=8, block_amplitudes=4))
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = tmp_path / "junk.bin"
+        path.write_bytes(b"definitely not a checkpoint")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_checkpoint_of_fresh_simulator(self, tmp_path):
+        simulator = CompressedSimulator(6, _config())
+        path = tmp_path / "fresh.bin"
+        save_checkpoint(simulator, path)
+        resumed = load_checkpoint(path)
+        assert resumed.probability_of(0) == pytest.approx(1.0)
+        assert resumed.gate_count == 0

@@ -1,0 +1,217 @@
+"""Unit tests for repro.circuits.circuit and repro.circuits.library."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    GateError,
+    QuantumCircuit,
+    ghz_circuit,
+    grover_diffusion,
+    phase_oracle,
+    prepare_basis_state,
+    qft_circuit,
+    standard_gate,
+    uniform_superposition,
+)
+from repro.statevector import simulate_statevector
+
+
+class TestCircuitConstruction:
+    def test_empty_circuit(self):
+        circuit = QuantumCircuit(3)
+        assert circuit.num_qubits == 3
+        assert len(circuit) == 0
+        assert circuit.depth() == 0
+
+    def test_rejects_zero_qubits(self):
+        with pytest.raises(ValueError):
+            QuantumCircuit(0)
+
+    def test_fluent_builders(self):
+        circuit = QuantumCircuit(3).h(0).cx(0, 1).ccx(0, 1, 2).t(2)
+        assert len(circuit) == 4
+        names = [gate.name for gate in circuit]
+        assert names == ["h", "x", "x", "t"]
+        assert circuit[1].controls == (0,)
+        assert circuit[2].controls == (0, 1)
+
+    def test_append_validates_register_size(self):
+        circuit = QuantumCircuit(2)
+        with pytest.raises(GateError):
+            circuit.append(standard_gate("h", 5))
+
+    def test_add_by_mnemonic(self):
+        circuit = QuantumCircuit(2).add("rz", 1, params=(0.25,))
+        assert circuit[0].params == (0.25,)
+
+    def test_extend_and_compose(self):
+        first = QuantumCircuit(2).h(0)
+        second = QuantumCircuit(2).cx(0, 1)
+        first.compose(second)
+        assert len(first) == 2
+
+    def test_compose_rejects_larger_circuit(self):
+        small = QuantumCircuit(2)
+        big = QuantumCircuit(4).h(3)
+        with pytest.raises(GateError):
+            small.compose(big)
+
+    def test_copy_is_independent(self):
+        original = QuantumCircuit(2).h(0)
+        clone = original.copy()
+        clone.x(1)
+        assert len(original) == 1
+        assert len(clone) == 2
+
+    def test_swap_decomposes_to_three_cnots(self):
+        circuit = QuantumCircuit(2).swap(0, 1)
+        assert len(circuit) == 3
+        assert all(gate.name == "x" and gate.controls for gate in circuit)
+
+    def test_mcx_and_mcz(self):
+        circuit = QuantumCircuit(4).mcx([0, 1, 2], 3).mcz([0, 1], 2)
+        assert circuit[0].controls == (0, 1, 2)
+        assert circuit[1].name == "z"
+
+    def test_equality(self):
+        a = QuantumCircuit(2).h(0).cx(0, 1)
+        b = QuantumCircuit(2).h(0).cx(0, 1)
+        c = QuantumCircuit(2).h(1).cx(0, 1)
+        assert a == b
+        assert a != c
+
+    def test_getitem_slice(self):
+        circuit = QuantumCircuit(2).h(0).x(1).z(0)
+        assert len(circuit[1:]) == 2
+
+
+class TestCircuitAnalysis:
+    def test_depth_single_qubit_chain(self):
+        circuit = QuantumCircuit(1).h(0).t(0).h(0)
+        assert circuit.depth() == 3
+
+    def test_depth_parallel_gates(self):
+        circuit = QuantumCircuit(3).h(0).h(1).h(2)
+        assert circuit.depth() == 1
+
+    def test_depth_with_entangling_gate(self):
+        circuit = QuantumCircuit(2).h(0).h(1).cx(0, 1).h(0)
+        assert circuit.depth() == 3
+
+    def test_stats(self):
+        circuit = QuantumCircuit(3).h(0).cx(0, 1).ccx(0, 1, 2)
+        stats = circuit.stats()
+        assert stats.num_gates == 3
+        assert stats.num_controlled_gates == 2
+        assert stats.num_single_qubit_gates == 1
+        assert stats.gate_histogram == {"h": 1, "c1x": 1, "c2x": 1}
+        assert stats.as_dict()["num_qubits"] == 3
+
+    def test_qasm_like_dump(self):
+        circuit = QuantumCircuit(2).h(0).cp(0.5, 0, 1)
+        text = circuit.qasm_like()
+        assert "qreg q[2];" in text
+        assert "h q[0];" in text
+        assert "cp(0.5) q[0], q[1];" in text
+
+    def test_inverse_restores_initial_state(self):
+        circuit = QuantumCircuit(3).h(0).cx(0, 1).t(2).cp(0.3, 1, 2)
+        roundtrip = circuit.copy().compose(circuit.inverse())
+        state = simulate_statevector(roundtrip)
+        expected = np.zeros(8, dtype=complex)
+        expected[0] = 1.0
+        assert np.allclose(state, expected)
+
+    def test_remapped_circuit(self):
+        circuit = QuantumCircuit(3).cx(0, 1)
+        remapped = circuit.remapped({0: 2, 1: 0})
+        assert remapped[0].controls == (2,)
+        assert remapped[0].targets == (0,)
+
+
+class TestLibraryFragments:
+    def test_uniform_superposition_state(self):
+        state = simulate_statevector(uniform_superposition(4))
+        assert np.allclose(np.abs(state), 0.25)
+
+    def test_prepare_basis_state_int(self):
+        state = simulate_statevector(prepare_basis_state(4, 9))
+        assert np.argmax(np.abs(state)) == 9
+
+    def test_prepare_basis_state_string(self):
+        # "0101" -> qubit3=0 qubit2=1 qubit1=0 qubit0=1 -> index 5
+        state = simulate_statevector(prepare_basis_state(4, "0101"))
+        assert np.argmax(np.abs(state)) == 5
+
+    def test_prepare_basis_state_validation(self):
+        with pytest.raises(ValueError):
+            prepare_basis_state(3, "11")
+        with pytest.raises(ValueError):
+            prepare_basis_state(3, 8)
+
+    def test_phase_oracle_flips_only_marked(self):
+        num_qubits = 4
+        marked = 11
+        plus = uniform_superposition(num_qubits)
+        oracle = phase_oracle(num_qubits, [marked])
+        circuit = plus.copy().compose(oracle)
+        state = simulate_statevector(circuit)
+        reference = simulate_statevector(uniform_superposition(num_qubits))
+        ratio = state / reference
+        assert np.allclose(ratio[marked], -1.0)
+        others = np.delete(ratio, marked)
+        assert np.allclose(others, 1.0)
+
+    def test_phase_oracle_range_check(self):
+        with pytest.raises(ValueError):
+            phase_oracle(3, [8])
+
+    def test_grover_diffusion_preserves_uniform_state(self):
+        state = simulate_statevector(
+            uniform_superposition(4).compose(grover_diffusion(4))
+        )
+        reference = simulate_statevector(uniform_superposition(4))
+        # diffusion = 2|s><s| - I fixes |s> (up to global phase)
+        overlap = abs(np.vdot(reference, state))
+        assert overlap == pytest.approx(1.0, abs=1e-10)
+
+    def test_qft_of_zero_is_uniform(self):
+        state = simulate_statevector(qft_circuit(5))
+        assert np.allclose(state, np.full(32, 1 / math.sqrt(32)))
+
+    def test_qft_matches_dft_matrix(self):
+        n = 4
+        size = 1 << n
+        for basis in (1, 7, 12):
+            circuit = prepare_basis_state(n, basis).compose(qft_circuit(n))
+            state = simulate_statevector(circuit)
+            k = np.arange(size)
+            expected = np.exp(2j * np.pi * basis * k / size) / math.sqrt(size)
+            assert np.allclose(state, expected, atol=1e-10)
+
+    def test_qft_without_swaps_is_bit_reversed(self):
+        n = 3
+        basis = 5
+        swapped = simulate_statevector(
+            prepare_basis_state(n, basis).compose(qft_circuit(n, include_swaps=True))
+        )
+        unswapped = simulate_statevector(
+            prepare_basis_state(n, basis).compose(qft_circuit(n, include_swaps=False))
+        )
+        # Bit-reversing the index ordering of the unswapped result recovers it.
+        indices = np.arange(1 << n)
+        reversed_indices = np.array(
+            [int(format(i, f"0{n}b")[::-1], 2) for i in indices]
+        )
+        assert np.allclose(swapped, unswapped[reversed_indices], atol=1e-10)
+
+    def test_ghz_state(self):
+        state = simulate_statevector(ghz_circuit(5))
+        expected = np.zeros(32, dtype=complex)
+        expected[0] = expected[-1] = 1 / math.sqrt(2)
+        assert np.allclose(state, expected)

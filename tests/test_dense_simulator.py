@@ -1,0 +1,132 @@
+"""Unit tests for the dense reference simulator."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit, ghz_circuit, qft_circuit, uniform_superposition
+from repro.statevector import DenseSimulator, simulate_statevector
+
+
+class TestInitialization:
+    def test_default_initial_state(self):
+        simulator = DenseSimulator(3)
+        assert simulator.state[0] == 1.0
+        assert simulator.state[1:].sum() == 0.0
+
+    def test_basis_initial_state(self):
+        simulator = DenseSimulator(3, initial_state=5)
+        assert simulator.state[5] == 1.0
+
+    def test_vector_initial_state_normalised(self):
+        vector = np.ones(4, dtype=complex)
+        simulator = DenseSimulator(2, initial_state=vector)
+        assert np.linalg.norm(simulator.state) == pytest.approx(1.0)
+
+    def test_invalid_basis_state(self):
+        with pytest.raises(ValueError):
+            DenseSimulator(2, initial_state=4)
+
+    def test_invalid_vector_shape(self):
+        with pytest.raises(ValueError):
+            DenseSimulator(2, initial_state=np.ones(3, dtype=complex))
+
+    def test_qubit_cap(self):
+        with pytest.raises(ValueError):
+            DenseSimulator(29)
+
+    def test_zero_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            DenseSimulator(0)
+
+    def test_memory_bytes(self):
+        simulator = DenseSimulator(10)
+        assert simulator.memory_bytes() == (1 << 10) * 16
+
+
+class TestGateApplication:
+    def test_single_hadamard(self):
+        simulator = DenseSimulator(1)
+        simulator.apply_circuit(QuantumCircuit(1).h(0))
+        assert np.allclose(simulator.state, np.full(2, 1 / math.sqrt(2)))
+
+    def test_gate_count_tracks(self):
+        simulator = DenseSimulator(2)
+        simulator.apply_circuit(QuantumCircuit(2).h(0).cx(0, 1))
+        assert simulator.gate_count == 2
+
+    def test_gate_outside_register_rejected(self):
+        simulator = DenseSimulator(2)
+        from repro.circuits import standard_gate
+
+        with pytest.raises(ValueError):
+            simulator.apply_gate(standard_gate("h", 4))
+
+    def test_state_property_is_read_only(self):
+        simulator = DenseSimulator(2)
+        with pytest.raises(ValueError):
+            simulator.state[0] = 0.0
+
+    def test_statevector_returns_copy(self):
+        simulator = DenseSimulator(2)
+        copy = simulator.statevector()
+        copy[0] = 123.0
+        assert simulator.state[0] == 1.0
+
+    def test_bell_state_probabilities(self):
+        simulator = DenseSimulator(2)
+        simulator.apply_circuit(QuantumCircuit(2).h(0).cx(0, 1))
+        probs = simulator.probabilities()
+        assert probs[0b00] == pytest.approx(0.5)
+        assert probs[0b11] == pytest.approx(0.5)
+        assert simulator.probability_of(0b01) == pytest.approx(0.0)
+
+    def test_norm_preserved_through_deep_circuit(self):
+        circuit = qft_circuit(6)
+        simulator = DenseSimulator(6)
+        simulator.apply_circuit(circuit)
+        assert simulator.norm_error() < 1e-10
+
+
+class TestMeasurementInterface:
+    def test_marginal_and_expectation(self):
+        simulator = DenseSimulator(2)
+        simulator.apply_circuit(QuantumCircuit(2).x(1))
+        assert simulator.marginal_probability(1) == pytest.approx(1.0)
+        assert simulator.expectation_z(1) == pytest.approx(-1.0)
+
+    def test_sampling(self, rng):
+        simulator = DenseSimulator(3)
+        simulator.apply_circuit(uniform_superposition(3))
+        counts = simulator.sample_counts(800, rng)
+        assert sum(counts.values()) == 800
+        assert len(counts) == 8  # all outcomes present with high probability
+
+    def test_projective_measurement_collapses(self, rng):
+        simulator = DenseSimulator(2)
+        simulator.apply_circuit(ghz_circuit(2))
+        outcome = simulator.measure(0, rng)
+        # After measuring one qubit of a Bell pair the other is determined.
+        assert simulator.marginal_probability(1) == pytest.approx(float(outcome))
+
+    def test_fidelity_with(self):
+        a = DenseSimulator(3)
+        b = DenseSimulator(3)
+        a.apply_circuit(uniform_superposition(3))
+        b.apply_circuit(uniform_superposition(3))
+        assert a.fidelity_with(b) == pytest.approx(1.0)
+        assert a.fidelity_with(DenseSimulator(3)) == pytest.approx(1 / math.sqrt(8))
+
+
+class TestConvenienceFunction:
+    def test_simulate_statevector(self):
+        state = simulate_statevector(ghz_circuit(3))
+        assert abs(state[0]) == pytest.approx(1 / math.sqrt(2))
+        assert abs(state[7]) == pytest.approx(1 / math.sqrt(2))
+
+    def test_simulate_statevector_with_initial_state(self):
+        state = simulate_statevector(QuantumCircuit(2).x(0), initial_state=2)
+        assert np.argmax(np.abs(state)) == 3

@@ -1,0 +1,184 @@
+"""Unit tests for repro.circuits.gates."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import gates
+from repro.circuits.gates import Gate, GateError, is_unitary, standard_gate
+
+
+FIXED_GATES = ["i", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx"]
+
+
+class TestMatrices:
+    @pytest.mark.parametrize("name", FIXED_GATES)
+    def test_fixed_gates_are_unitary(self, name):
+        assert is_unitary(gates.GATE_ALIASES[name])
+
+    @pytest.mark.parametrize("theta", [0.0, 0.3, math.pi / 2, math.pi, 2 * math.pi])
+    @pytest.mark.parametrize("factory", [gates.rx, gates.ry, gates.rz, gates.phase])
+    def test_parameterised_gates_are_unitary(self, factory, theta):
+        assert is_unitary(factory(theta))
+
+    def test_u3_is_unitary(self):
+        assert is_unitary(gates.u3(0.3, 1.1, -0.4))
+
+    def test_u2_is_unitary(self):
+        assert is_unitary(gates.u2(0.5, 1.2))
+
+    def test_hadamard_squares_to_identity(self):
+        assert np.allclose(gates.H @ gates.H, np.eye(2))
+
+    def test_pauli_algebra(self):
+        assert np.allclose(gates.X @ gates.Y, 1j * gates.Z)
+        assert np.allclose(gates.Y @ gates.Z, 1j * gates.X)
+        assert np.allclose(gates.Z @ gates.X, 1j * gates.Y)
+
+    def test_s_is_sqrt_z(self):
+        assert np.allclose(gates.S @ gates.S, gates.Z)
+
+    def test_t_is_sqrt_s(self):
+        assert np.allclose(gates.T @ gates.T, gates.S)
+
+    def test_sx_is_sqrt_x(self):
+        assert np.allclose(gates.SX @ gates.SX, gates.X)
+
+    def test_sdg_tdg_are_adjoints(self):
+        assert np.allclose(gates.SDG, gates.S.conj().T)
+        assert np.allclose(gates.TDG, gates.T.conj().T)
+
+    def test_rz_phase_relation(self):
+        theta = 0.77
+        # rz differs from the phase gate only by a global phase.
+        ratio = gates.phase(theta) @ np.linalg.inv(gates.rz(theta))
+        assert np.allclose(ratio, ratio[0, 0] * np.eye(2))
+
+    def test_cnot_matrix_structure(self):
+        cnot = gates.cnot_matrix()
+        assert np.allclose(cnot @ cnot, np.eye(4))
+        assert is_unitary(cnot)
+
+    def test_toffoli_matrix_is_permutation(self):
+        toffoli = gates.toffoli_matrix()
+        assert is_unitary(toffoli)
+        assert np.allclose(np.abs(toffoli).sum(axis=0), np.ones(8))
+
+    def test_swap_matrix(self):
+        swap = gates.swap_matrix()
+        vec = np.zeros(4)
+        vec[1] = 1.0  # |01>
+        assert np.allclose(swap @ vec, np.eye(4)[2])  # -> |10>
+
+    def test_controlled_wraps_unitary(self):
+        cy = gates.controlled(gates.Y)
+        assert np.allclose(cy[:2, :2], np.eye(2))
+        assert np.allclose(cy[2:, 2:], gates.Y)
+
+    def test_controlled_rejects_wrong_shape(self):
+        with pytest.raises(GateError):
+            gates.controlled(np.eye(4))
+
+    def test_is_unitary_rejects_non_square(self):
+        assert not is_unitary(np.ones((2, 3)))
+
+    def test_is_unitary_rejects_non_unitary(self):
+        assert not is_unitary(np.array([[1.0, 1.0], [0.0, 1.0]]))
+
+
+class TestGateRecord:
+    def test_basic_construction(self):
+        gate = Gate("h", gates.H, targets=(2,))
+        assert gate.target == 2
+        assert gate.controls == ()
+        assert gate.num_qubits == 1
+
+    def test_controlled_construction(self):
+        gate = Gate("x", gates.X, targets=(0,), controls=(3, 5))
+        assert gate.qubits == (3, 5, 0)
+        assert gate.max_qubit() == 5
+        assert gate.num_qubits == 3
+
+    def test_rejects_non_unitary_matrix(self):
+        with pytest.raises(GateError):
+            Gate("bad", np.array([[1.0, 0.0], [1.0, 1.0]]), targets=(0,))
+
+    def test_rejects_wrong_matrix_shape(self):
+        with pytest.raises(GateError):
+            Gate("bad", np.eye(4), targets=(0,))
+
+    def test_rejects_multiple_targets(self):
+        with pytest.raises(GateError):
+            Gate("bad", gates.X, targets=(0, 1))
+
+    def test_rejects_overlapping_control_target(self):
+        with pytest.raises(GateError):
+            Gate("bad", gates.X, targets=(1,), controls=(1,))
+
+    def test_rejects_negative_qubits(self):
+        with pytest.raises(GateError):
+            Gate("bad", gates.X, targets=(-1,))
+
+    def test_dagger_inverts(self):
+        gate = standard_gate("t", 0)
+        assert np.allclose(gate.dagger().matrix @ gate.matrix, np.eye(2))
+
+    def test_dagger_negates_params(self):
+        gate = standard_gate("rz", 0, params=(0.5,))
+        assert gate.dagger().params == (-0.5,)
+
+    def test_key_distinguishes_parameters(self):
+        a = standard_gate("rz", 0, params=(0.5,))
+        b = standard_gate("rz", 0, params=(0.6,))
+        assert a.key() != b.key()
+
+    def test_key_distinguishes_targets(self):
+        a = standard_gate("h", 0)
+        b = standard_gate("h", 1)
+        assert a.key() != b.key()
+
+    def test_key_equal_for_identical_gates(self):
+        a = standard_gate("h", 0)
+        b = standard_gate("h", 0)
+        assert a.key() == b.key()
+
+    def test_remapped(self):
+        gate = standard_gate("x", 0, controls=(1,))
+        remapped = gate.remapped({0: 5, 1: 3})
+        assert remapped.targets == (5,)
+        assert remapped.controls == (3,)
+
+
+class TestStandardGateFactory:
+    @pytest.mark.parametrize("name", FIXED_GATES)
+    def test_fixed_names(self, name):
+        gate = standard_gate(name, 1)
+        assert gate.name == name
+        assert np.allclose(gate.matrix, gates.GATE_ALIASES[name])
+
+    def test_parameterised(self):
+        gate = standard_gate("rx", 0, params=(0.4,))
+        assert np.allclose(gate.matrix, gates.rx(0.4))
+
+    def test_unknown_name(self):
+        with pytest.raises(GateError):
+            standard_gate("frobnicate", 0)
+
+    def test_fixed_gate_rejects_params(self):
+        with pytest.raises(GateError):
+            standard_gate("h", 0, params=(1.0,))
+
+    def test_param_gate_arity_check(self):
+        with pytest.raises(GateError):
+            standard_gate("u3", 0, params=(1.0,))
+
+    def test_int_argument_forms(self):
+        gate = standard_gate("x", 2, controls=1)
+        assert gate.targets == (2,)
+        assert gate.controls == (1,)
+
+    def test_case_insensitive(self):
+        assert standard_gate("H", 0).name == "h"

@@ -1,0 +1,66 @@
+"""Unit tests for the canonical Huffman codec."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression import huffman
+from repro.compression.interface import CompressorError
+
+
+class TestRoundTrip:
+    def test_small_alphabet(self):
+        symbols = np.array([0, 0, 0, 1, 1, 2] * 50, dtype=np.int64)
+        blob = huffman.encode(symbols)
+        assert np.array_equal(huffman.decode(blob), symbols)
+
+    def test_single_symbol_stream(self):
+        symbols = np.full(1000, 7, dtype=np.int64)
+        blob = huffman.encode(symbols)
+        assert np.array_equal(huffman.decode(blob), symbols)
+        # Highly redundant stream should be tiny.
+        assert len(blob) < 200
+
+    def test_two_symbols(self):
+        symbols = np.array([5, -5] * 100, dtype=np.int64)
+        assert np.array_equal(huffman.decode(huffman.encode(symbols)), symbols)
+
+    def test_negative_and_large_symbols(self):
+        symbols = np.array([-(2**40), 0, 2**40, 17, -3] * 20, dtype=np.int64)
+        assert np.array_equal(huffman.decode(huffman.encode(symbols)), symbols)
+
+    def test_empty_stream(self):
+        symbols = np.zeros(0, dtype=np.int64)
+        assert huffman.decode(huffman.encode(symbols)).size == 0
+
+    def test_single_element(self):
+        symbols = np.array([42], dtype=np.int64)
+        assert np.array_equal(huffman.decode(huffman.encode(symbols)), symbols)
+
+    def test_random_streams(self, rng):
+        for alphabet in (2, 16, 300):
+            symbols = rng.integers(-alphabet, alphabet, size=5000).astype(np.int64)
+            assert np.array_equal(huffman.decode(huffman.encode(symbols)), symbols)
+
+    def test_skewed_distribution_compresses(self, rng):
+        # Geometric-ish distribution: most symbols are 0, a few are large.
+        symbols = rng.geometric(0.7, size=20000).astype(np.int64)
+        blob = huffman.encode(symbols)
+        assert len(blob) < symbols.nbytes / 4
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(CompressorError):
+            huffman.encode(np.zeros((3, 3), dtype=np.int64))
+
+    def test_truncated_stream_raises(self):
+        symbols = np.arange(100, dtype=np.int64)
+        blob = huffman.encode(symbols)
+        with pytest.raises(Exception):
+            huffman.decode(blob[: len(blob) // 2])
+
+    def test_codec_class_and_module_functions_agree(self):
+        symbols = np.array([1, 2, 3, 1, 2, 1], dtype=np.int64)
+        codec = huffman.HuffmanCodec()
+        assert np.array_equal(codec.decode(codec.encode(symbols)), symbols)
+        assert np.array_equal(huffman.decode(codec.encode(symbols)), symbols)

@@ -1,0 +1,88 @@
+"""Unit tests for the lossless (Zstd-role) compressor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression import CompressorError, LosslessCompressor, roundtrip
+from repro.compression.lossless import (
+    lossless_compress_bytes,
+    lossless_decompress_bytes,
+)
+
+
+class TestByteLevelHelpers:
+    @pytest.mark.parametrize("backend", ["zlib", "lzma", "bz2"])
+    def test_roundtrip_bytes(self, backend):
+        raw = b"quantum state amplitudes" * 100
+        blob = lossless_compress_bytes(raw, backend)
+        assert lossless_decompress_bytes(blob, backend) == raw
+        assert len(blob) < len(raw)
+
+    def test_unknown_backend(self):
+        with pytest.raises(CompressorError):
+            lossless_compress_bytes(b"abc", "snappy")
+        with pytest.raises(CompressorError):
+            lossless_decompress_bytes(b"abc", "snappy")
+
+
+class TestLosslessCompressor:
+    @pytest.mark.parametrize("backend", ["zlib", "lzma", "bz2"])
+    def test_exact_roundtrip(self, backend, rng):
+        data = rng.normal(size=2048)
+        compressor = LosslessCompressor(backend=backend)
+        recovered, record = roundtrip(compressor, data)
+        assert np.array_equal(recovered, data)
+        assert record.max_abs_error == 0.0
+
+    def test_zero_data_compresses_massively(self):
+        data = np.zeros(1 << 14)
+        compressor = LosslessCompressor()
+        blob = compressor.compress(data)
+        assert len(blob) < data.nbytes / 100
+        assert np.array_equal(compressor.decompress(blob), data)
+
+    def test_sparse_data_better_than_dense(self, rng):
+        # The premise of Section 3.7: early (sparse) states compress well
+        # losslessly, entangled (dense random) states do not.
+        sparse = np.zeros(1 << 12)
+        sparse[:: 1 << 8] = rng.normal(size=1 << 4)
+        dense = rng.normal(size=1 << 12)
+        compressor = LosslessCompressor()
+        sparse_ratio = sparse.nbytes / len(compressor.compress(sparse))
+        dense_ratio = dense.nbytes / len(compressor.compress(dense))
+        assert sparse_ratio > 10 * dense_ratio
+
+    def test_complex_input_accepted(self, rng):
+        data = rng.normal(size=256) + 1j * rng.normal(size=256)
+        compressor = LosslessCompressor()
+        recovered = compressor.decompress(compressor.compress(data))
+        assert np.array_equal(recovered.view(np.complex128), data)
+
+    def test_is_lossless_flag(self):
+        compressor = LosslessCompressor()
+        assert compressor.is_lossless
+        assert compressor.bound == 0.0
+        assert "lossless" in compressor.describe()
+
+    def test_empty_array(self):
+        compressor = LosslessCompressor()
+        recovered = compressor.decompress(compressor.compress(np.zeros(0)))
+        assert recovered.size == 0
+
+    def test_rejects_foreign_blob(self):
+        compressor = LosslessCompressor()
+        with pytest.raises(CompressorError):
+            compressor.decompress(b"not a blob at all")
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(CompressorError):
+            LosslessCompressor(backend="lz4")
+
+    def test_cross_backend_decode_uses_embedded_backend_id(self):
+        data = np.linspace(0, 1, 512)
+        blob = LosslessCompressor(backend="lzma").compress(data)
+        # A zlib-configured instance can still decode: backend id is embedded.
+        recovered = LosslessCompressor(backend="zlib").decompress(blob)
+        assert np.array_equal(recovered, data)

@@ -1,0 +1,132 @@
+"""Unit tests for repro.statevector.measurement."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.statevector import measurement
+
+
+@pytest.fixture
+def bell_state() -> np.ndarray:
+    state = np.zeros(4, dtype=complex)
+    state[0b00] = state[0b11] = 1 / math.sqrt(2)
+    return state
+
+
+class TestProbabilities:
+    def test_probabilities_sum_to_one(self, bell_state):
+        probs = measurement.probabilities(bell_state)
+        assert probs.sum() == pytest.approx(1.0)
+        assert probs[0] == pytest.approx(0.5)
+
+    def test_norm_error(self, bell_state):
+        assert measurement.norm_error(bell_state) == pytest.approx(0.0, abs=1e-12)
+        assert measurement.norm_error(2 * bell_state) == pytest.approx(3.0)
+
+    def test_normalize(self):
+        state = np.array([3.0, 4.0], dtype=complex)
+        normalized = measurement.normalize(state)
+        assert np.linalg.norm(normalized) == pytest.approx(1.0)
+
+    def test_normalize_zero_state(self):
+        zero = np.zeros(4, dtype=complex)
+        assert np.allclose(measurement.normalize(zero), zero)
+
+    def test_marginal_probability(self, bell_state):
+        assert measurement.marginal_probability(bell_state, 0) == pytest.approx(0.5)
+        assert measurement.marginal_probability(bell_state, 1) == pytest.approx(0.5)
+
+    def test_marginal_probability_basis_state(self):
+        state = np.zeros(8, dtype=complex)
+        state[0b101] = 1.0
+        assert measurement.marginal_probability(state, 0) == pytest.approx(1.0)
+        assert measurement.marginal_probability(state, 1) == pytest.approx(0.0)
+        assert measurement.marginal_probability(state, 2) == pytest.approx(1.0)
+
+    def test_marginal_probability_bad_qubit(self, bell_state):
+        with pytest.raises(ValueError):
+            measurement.marginal_probability(bell_state, 2)
+
+    def test_expectation_z(self):
+        state = np.zeros(2, dtype=complex)
+        state[0] = 1.0
+        assert measurement.expectation_z(state, 0) == pytest.approx(1.0)
+        state = np.zeros(2, dtype=complex)
+        state[1] = 1.0
+        assert measurement.expectation_z(state, 0) == pytest.approx(-1.0)
+
+
+class TestSampling:
+    def test_sample_counts_total(self, bell_state, rng):
+        counts = measurement.sample_counts(bell_state, 1000, rng)
+        assert sum(counts.values()) == 1000
+        assert set(counts) <= {0b00, 0b11}
+
+    def test_sample_counts_distribution(self, rng):
+        state = np.zeros(4, dtype=complex)
+        state[2] = 1.0
+        counts = measurement.sample_counts(state, 50, rng)
+        assert counts == {2: 50}
+
+    def test_sample_zero_shots(self, bell_state, rng):
+        assert measurement.sample_counts(bell_state, 0, rng) == {}
+
+    def test_sample_negative_shots(self, bell_state, rng):
+        with pytest.raises(ValueError):
+            measurement.sample_counts(bell_state, -1, rng)
+
+    def test_sample_zero_state_rejected(self, rng):
+        with pytest.raises(ValueError):
+            measurement.sample_counts(np.zeros(4, dtype=complex), 10, rng)
+
+
+class TestCollapse:
+    def test_collapse_bell_state(self, bell_state):
+        collapsed = measurement.collapse_qubit(bell_state, 0, 0)
+        assert np.abs(collapsed[0b00]) == pytest.approx(1.0)
+        collapsed = measurement.collapse_qubit(bell_state, 0, 1)
+        assert np.abs(collapsed[0b11]) == pytest.approx(1.0)
+
+    def test_collapse_impossible_outcome(self):
+        state = np.zeros(2, dtype=complex)
+        state[0] = 1.0
+        with pytest.raises(ValueError):
+            measurement.collapse_qubit(state, 0, 1)
+
+    def test_collapse_invalid_outcome_value(self, bell_state):
+        with pytest.raises(ValueError):
+            measurement.collapse_qubit(bell_state, 0, 2)
+
+    def test_measure_qubit_is_consistent(self, bell_state, rng):
+        outcome, collapsed = measurement.measure_qubit(bell_state, 1, rng)
+        assert outcome in (0, 1)
+        # Bell state: both qubits always agree after measurement.
+        expected_index = 0b11 if outcome else 0b00
+        assert np.abs(collapsed[expected_index]) == pytest.approx(1.0)
+
+    def test_measure_does_not_mutate_input(self, bell_state, rng):
+        original = bell_state.copy()
+        measurement.measure_qubit(bell_state, 0, rng)
+        assert np.array_equal(bell_state, original)
+
+
+class TestFidelity:
+    def test_identical_states(self, bell_state):
+        assert measurement.state_fidelity(bell_state, bell_state) == pytest.approx(1.0)
+
+    def test_orthogonal_states(self):
+        a = np.array([1.0, 0.0], dtype=complex)
+        b = np.array([0.0, 1.0], dtype=complex)
+        assert measurement.state_fidelity(a, b) == pytest.approx(0.0)
+
+    def test_global_phase_invariance(self, bell_state):
+        rotated = bell_state * np.exp(0.7j)
+        assert measurement.state_fidelity(bell_state, rotated) == pytest.approx(1.0)
+
+    def test_dimension_mismatch(self, bell_state):
+        with pytest.raises(ValueError):
+            measurement.state_fidelity(bell_state, np.zeros(8, dtype=complex))

@@ -1,0 +1,124 @@
+"""Unit tests for repro.compression.metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression import XorBitplaneCompressor, metrics
+
+
+class TestBasicMetrics:
+    def test_compression_ratio(self):
+        assert metrics.compression_ratio(100, 25) == 4.0
+        assert metrics.compression_ratio(100, 0) == float("inf")
+
+    def test_pointwise_absolute_errors(self):
+        a = np.array([1.0, 2.0, 3.0])
+        b = np.array([1.0, 2.5, 2.0])
+        assert np.allclose(metrics.pointwise_absolute_errors(a, b), [0.0, 0.5, 1.0])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            metrics.pointwise_absolute_errors(np.zeros(3), np.zeros(4))
+
+    def test_pointwise_relative_errors(self):
+        a = np.array([2.0, 0.0, -4.0])
+        b = np.array([1.0, 0.0, -5.0])
+        rel = metrics.pointwise_relative_errors(a, b)
+        assert rel[0] == pytest.approx(0.5)
+        assert rel[1] == 0.0
+        assert rel[2] == pytest.approx(0.25)
+
+    def test_relative_error_zero_original_nonzero_recovered(self):
+        rel = metrics.pointwise_relative_errors(np.array([0.0]), np.array([1.0]))
+        assert np.isinf(rel[0])
+
+    def test_max_pointwise_relative_error(self):
+        a = np.array([1.0, 10.0])
+        b = np.array([1.1, 10.0])
+        assert metrics.max_pointwise_relative_error(a, b) == pytest.approx(0.1)
+
+    def test_per_block_max(self):
+        a = np.array([1.0, 1.0, 1.0, 1.0])
+        b = np.array([1.0, 1.1, 1.0, 1.01])
+        per_block = metrics.per_block_max_relative_error(a, b, block_size=2)
+        assert per_block.shape == (2,)
+        assert per_block[0] == pytest.approx(0.1)
+        assert per_block[1] == pytest.approx(0.01)
+
+    def test_per_block_handles_partial_block(self):
+        a = np.ones(5)
+        b = np.ones(5)
+        assert metrics.per_block_max_relative_error(a, b, 2).shape == (3,)
+
+    def test_per_block_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            metrics.per_block_max_relative_error(np.ones(4), np.ones(4), 0)
+
+    def test_throughput(self):
+        assert metrics.throughput_mbps(2_000_000, 2.0) == pytest.approx(1.0)
+        assert metrics.throughput_mbps(1, 0.0) == float("inf")
+
+
+class TestNormalizedErrorsAndCDF:
+    def test_normalized_errors_within_unit_interval(self, spiky_data):
+        bound = 1e-3
+        compressor = XorBitplaneCompressor(bound=bound)
+        recovered = compressor.decompress(compressor.compress(spiky_data))
+        normalized = metrics.normalized_errors(spiky_data, recovered, bound)
+        assert normalized.size > 0
+        assert np.all(normalized >= -1.0 - 1e-9)
+        assert np.all(normalized <= 1.0 + 1e-9)
+
+    def test_normalized_errors_skip_zero_originals(self):
+        original = np.array([0.0, 1.0])
+        recovered = np.array([0.0, 0.999])
+        normalized = metrics.normalized_errors(original, recovered, 1e-2)
+        assert normalized.size == 1
+
+    def test_normalized_errors_bad_bound(self):
+        with pytest.raises(ValueError):
+            metrics.normalized_errors(np.ones(2), np.ones(2), 0.0)
+
+    def test_error_cdf_monotone(self, rng):
+        errors = rng.uniform(-1, 1, size=1000)
+        x, cdf = metrics.error_cdf(errors, num_points=50)
+        assert x.shape == cdf.shape == (50,)
+        assert np.all(np.diff(cdf) >= 0)
+        assert cdf[-1] == pytest.approx(1.0)
+
+    def test_error_cdf_empty(self):
+        x, cdf = metrics.error_cdf(np.zeros(0))
+        assert x.size == 0 and cdf.size == 0
+
+
+class TestAutocorrelation:
+    def test_constant_series_is_zero(self):
+        assert metrics.lag1_autocorrelation(np.ones(100)) == 0.0
+
+    def test_short_series_is_zero(self):
+        assert metrics.lag1_autocorrelation(np.array([1.0])) == 0.0
+
+    def test_alternating_series_is_negative(self):
+        series = np.array([1.0, -1.0] * 500)
+        assert metrics.lag1_autocorrelation(series) < -0.9
+
+    def test_smooth_series_is_positive(self):
+        series = np.sin(np.linspace(0, 4 * np.pi, 2000))
+        assert metrics.lag1_autocorrelation(series) > 0.9
+
+    def test_white_noise_is_near_zero(self, rng):
+        series = rng.normal(size=20000)
+        assert abs(metrics.lag1_autocorrelation(series)) < 0.05
+
+
+class TestEvaluateCompressor:
+    def test_bundle_contents(self, qaoa_snapshot):
+        compressor = XorBitplaneCompressor(bound=1e-3)
+        evaluation = metrics.evaluate_compressor(compressor, qaoa_snapshot, block_size=1024)
+        assert evaluation.record.ratio > 1.0
+        assert evaluation.per_block_max_rel.max() <= 1e-3
+        assert abs(evaluation.lag1_error_autocorrelation) < 0.5
+        as_dict = evaluation.as_dict()
+        assert "ratio" in as_dict and "lag1_error_autocorrelation" in as_dict

@@ -1,0 +1,183 @@
+"""Property-based tests (hypothesis) for the compression substrate.
+
+These check the two invariants everything else relies on, over adversarial
+inputs the example-based tests would never enumerate:
+
+* lossless round trips are bit-exact,
+* every lossy compressor honours its declared pointwise error bound, and
+* the Huffman codec and the bit-plane primitives are exact inverses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.compression import (
+    ErrorBoundMode,
+    LosslessCompressor,
+    ReshuffleCompressor,
+    SZComplexCompressor,
+    SZCompressor,
+    XorBitplaneCompressor,
+    ZFPLikeCompressor,
+    huffman,
+)
+from repro.compression import bitplane
+
+# Finite, not-too-extreme doubles: compressors are specified for amplitude
+# data, whose magnitudes live comfortably inside [1e-300, 1e+300].
+_finite_floats = st.floats(
+    min_value=-1e100,
+    max_value=1e100,
+    allow_nan=False,
+    allow_infinity=False,
+    width=64,
+)
+
+_float_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=1, max_value=400),
+    elements=_finite_floats,
+)
+
+_bounds = st.sampled_from([1e-1, 1e-2, 1e-3, 1e-4, 1e-5])
+
+
+def _max_relative_error(original: np.ndarray, recovered: np.ndarray) -> float:
+    nonzero = original != 0
+    if not nonzero.any():
+        return 0.0
+    return float(
+        np.max(np.abs(recovered[nonzero] - original[nonzero]) / np.abs(original[nonzero]))
+    )
+
+
+class TestLosslessProperties:
+    @given(data=_float_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_is_bit_exact(self, data):
+        compressor = LosslessCompressor()
+        recovered = compressor.decompress(compressor.compress(data))
+        assert np.array_equal(recovered, data)
+
+
+class TestLossyBoundProperties:
+    @given(data=_float_arrays, bound=_bounds)
+    @settings(max_examples=40, deadline=None)
+    def test_xor_bitplane_respects_bound(self, data, bound):
+        compressor = XorBitplaneCompressor(bound=bound)
+        recovered = compressor.decompress(compressor.compress(data))
+        assert _max_relative_error(data, recovered) <= bound * (1 + 1e-9)
+
+    @given(data=_float_arrays, bound=_bounds)
+    @settings(max_examples=40, deadline=None)
+    def test_xor_bitplane_never_grows_magnitude(self, data, bound):
+        compressor = XorBitplaneCompressor(bound=bound)
+        recovered = compressor.decompress(compressor.compress(data))
+        assert np.all(np.abs(recovered) <= np.abs(data))
+
+    @given(data=_float_arrays, bound=_bounds)
+    @settings(max_examples=30, deadline=None)
+    def test_reshuffle_respects_bound(self, data, bound):
+        compressor = ReshuffleCompressor(bound=bound)
+        recovered = compressor.decompress(compressor.compress(data))
+        assert _max_relative_error(data, recovered) <= bound * (1 + 1e-9)
+
+    @given(data=_float_arrays, bound=st.sampled_from([1e-1, 1e-2, 1e-3]))
+    @settings(max_examples=25, deadline=None)
+    def test_sz_respects_relative_bound(self, data, bound):
+        compressor = SZCompressor(bound=bound)
+        recovered = compressor.decompress(compressor.compress(data))
+        assert _max_relative_error(data, recovered) <= bound * (1 + 1e-9)
+
+    @given(data=_float_arrays, bound=st.sampled_from([1e-1, 1e-3]))
+    @settings(max_examples=25, deadline=None)
+    def test_sz_complex_respects_relative_bound(self, data, bound):
+        compressor = SZComplexCompressor(bound=bound)
+        recovered = compressor.decompress(compressor.compress(data))
+        assert _max_relative_error(data, recovered) <= bound * (1 + 1e-9)
+
+    @given(
+        data=hnp.arrays(
+            dtype=np.float64,
+            shape=st.integers(min_value=1, max_value=200),
+            elements=st.floats(-1e6, 1e6, allow_nan=False, width=64),
+        ),
+        bound=st.sampled_from([1e-1, 1e-2, 1e-3]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_zfp_respects_absolute_bound(self, data, bound):
+        compressor = ZFPLikeCompressor(bound=bound, mode=ErrorBoundMode.ABSOLUTE)
+        recovered = compressor.decompress(compressor.compress(data))
+        assert float(np.max(np.abs(recovered - data))) <= bound * (1 + 1e-9)
+
+    @given(data=_float_arrays, bound=_bounds)
+    @settings(max_examples=30, deadline=None)
+    def test_preserved_zero_positions(self, data, bound):
+        # Zero amplitudes (the dominant value early in a simulation) must stay
+        # exactly zero under Solution C, or the relative bound is meaningless.
+        data = data.copy()
+        data[::2] = 0.0
+        compressor = XorBitplaneCompressor(bound=bound)
+        recovered = compressor.decompress(compressor.compress(data))
+        assert np.all(recovered[::2] == 0.0)
+
+
+class TestCodecProperties:
+    @given(
+        symbols=hnp.arrays(
+            dtype=np.int64,
+            shape=st.integers(min_value=0, max_value=500),
+            elements=st.integers(min_value=-(2**40), max_value=2**40),
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_huffman_roundtrip(self, symbols):
+        assert np.array_equal(huffman.decode(huffman.encode(symbols)), symbols)
+
+    @given(
+        words=hnp.arrays(
+            dtype=np.uint64,
+            shape=st.integers(min_value=0, max_value=300),
+            elements=st.integers(min_value=0, max_value=2**64 - 1),
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_xor_delta_roundtrip(self, words):
+        assert np.array_equal(
+            bitplane.xor_delta_decode(bitplane.xor_delta_encode(words)), words
+        )
+
+    @given(
+        words=hnp.arrays(
+            dtype=np.uint64,
+            shape=st.integers(min_value=1, max_value=200),
+            elements=st.integers(min_value=0, max_value=2**64 - 1),
+        ),
+        keep_bytes=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_leading_zero_stream_roundtrip(self, words, keep_bytes):
+        # Only the kept leading bytes are representable; mask the rest first,
+        # mirroring what the truncation stage guarantees in the real pipeline.
+        if keep_bytes < 8:
+            mask = np.uint64(~((1 << (8 * (8 - keep_bytes))) - 1) & 0xFFFFFFFFFFFFFFFF)
+            words = words & mask
+        codes, suffix = bitplane.pack_leading_zero_stream(words, keep_bytes)
+        recovered = bitplane.unpack_leading_zero_stream(
+            codes, suffix, words.size, keep_bytes
+        )
+        assert np.array_equal(recovered, words)
+
+    @given(
+        data=_float_arrays,
+        keep_bits=st.integers(min_value=12, max_value=64),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_truncation_idempotent(self, data, keep_bits):
+        once = bitplane.truncate_bitplanes(data, keep_bits)
+        twice = bitplane.truncate_bitplanes(once, keep_bits)
+        assert np.array_equal(once, twice)

@@ -1,0 +1,108 @@
+"""Property-based tests (hypothesis) for the compressed simulator.
+
+The invariant behind the whole reproduction: for *any* circuit and *any*
+partition geometry, the blocked/compressed simulation under lossless
+compression is amplitude-for-amplitude identical to the dense reference, and
+under lossy compression the measured fidelity never falls below the
+Π(1 - δ) bound the simulator reports.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import QuantumCircuit
+from repro.core import CompressedSimulator, SimulatorConfig
+from repro.statevector import simulate_statevector, state_fidelity
+
+NUM_QUBITS = 6
+
+_single_gates = ("h", "x", "y", "z", "s", "t", "sx")
+
+
+@st.composite
+def random_circuits(draw) -> QuantumCircuit:
+    """A random circuit mixing single-qubit, controlled and Toffoli gates."""
+
+    circuit = QuantumCircuit(NUM_QUBITS)
+    num_gates = draw(st.integers(min_value=1, max_value=25))
+    for _ in range(num_gates):
+        kind = draw(st.integers(min_value=0, max_value=3))
+        qubits = draw(
+            st.permutations(range(NUM_QUBITS)).map(lambda p: p[:3])
+        )
+        if kind == 0:
+            name = draw(st.sampled_from(_single_gates))
+            circuit.add(name, qubits[0])
+        elif kind == 1:
+            theta = draw(st.floats(-3.14, 3.14, allow_nan=False))
+            circuit.rz(theta, qubits[0])
+        elif kind == 2:
+            circuit.cx(qubits[0], qubits[1])
+        else:
+            circuit.ccx(qubits[0], qubits[1], qubits[2])
+    return circuit
+
+
+_partitions = st.sampled_from(
+    [
+        (1, 64),  # single rank, single block
+        (1, 16),  # single rank, several blocks
+        (2, 16),
+        (4, 8),
+        (8, 4),
+    ]
+)
+
+
+class TestLosslessEquivalence:
+    @given(circuit=random_circuits(), shape=_partitions)
+    @settings(max_examples=30, deadline=None)
+    def test_matches_dense_amplitude_for_amplitude(self, circuit, shape):
+        ranks, block = shape
+        config = SimulatorConfig(num_ranks=ranks, block_amplitudes=block)
+        simulator = CompressedSimulator(NUM_QUBITS, config)
+        simulator.apply_circuit(circuit)
+        dense = simulate_statevector(circuit)
+        assert np.allclose(simulator.statevector(), dense, atol=1e-10)
+        assert simulator.norm_squared() == pytest.approx(1.0, abs=1e-9)
+
+    @given(circuit=random_circuits())
+    @settings(max_examples=15, deadline=None)
+    def test_cache_does_not_change_results(self, circuit):
+        states = []
+        for use_cache in (True, False):
+            config = SimulatorConfig(
+                num_ranks=2, block_amplitudes=16, use_block_cache=use_cache
+            )
+            simulator = CompressedSimulator(NUM_QUBITS, config)
+            simulator.apply_circuit(circuit)
+            states.append(simulator.statevector())
+        assert np.allclose(states[0], states[1], atol=1e-12)
+
+
+class TestLossyFidelityBound:
+    @given(
+        circuit=random_circuits(),
+        bound=st.sampled_from([1e-4, 1e-3, 1e-2]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_measured_fidelity_respects_reported_bound(self, circuit, bound):
+        config = SimulatorConfig(
+            num_ranks=2,
+            block_amplitudes=16,
+            start_lossless=False,
+            error_levels=(bound,),
+        )
+        simulator = CompressedSimulator(NUM_QUBITS, config)
+        report = simulator.apply_circuit(circuit)
+        dense = simulate_statevector(circuit)
+        fidelity = simulator.fidelity_vs(dense)
+        assert fidelity >= report.fidelity_lower_bound - 1e-12
+        assert report.fidelity_lower_bound == pytest.approx(
+            (1.0 - bound) ** len(circuit), rel=1e-9
+        )
+        # Norm can only shrink under magnitude-truncating compression.
+        assert simulator.norm_squared() <= 1.0 + 1e-9

@@ -1,0 +1,83 @@
+"""Unit tests for linear-scaling quantization and the log transform."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression import quantization
+from repro.compression.interface import CompressorError
+
+
+class TestQuantize:
+    @pytest.mark.parametrize("bound", [1e-1, 1e-3, 1e-6])
+    def test_error_within_bound(self, bound, rng):
+        data = rng.normal(size=4096)
+        codes = quantization.quantize(data, bound)
+        recovered = quantization.dequantize(codes, bound)
+        assert np.max(np.abs(recovered - data)) <= bound + 1e-15
+
+    def test_exact_grid_points_roundtrip(self):
+        bound = 0.5
+        data = np.array([0.0, 1.0, 2.0, -3.0])
+        codes = quantization.quantize(data, bound)
+        assert np.array_equal(quantization.dequantize(codes, bound), data)
+
+    def test_codes_are_integers(self, rng):
+        codes = quantization.quantize(rng.normal(size=16), 1e-2)
+        assert codes.dtype == np.int64
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(CompressorError):
+            quantization.quantize(np.zeros(4), -1.0)
+        with pytest.raises(CompressorError):
+            quantization.dequantize(np.zeros(4, dtype=np.int64), 0.0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(CompressorError):
+            quantization.quantize(np.array([np.nan]), 1e-3)
+
+    def test_overflow_guard(self):
+        with pytest.raises(CompressorError):
+            quantization.quantize(np.array([1e300]), 1e-300)
+
+
+class TestLogTransform:
+    def test_roundtrip_without_error(self, rng):
+        data = rng.normal(size=1000) * np.exp(rng.normal(size=1000))
+        log_mag, signs, zero_mask = quantization.log_transform(data)
+        recovered = quantization.log_inverse_transform(log_mag, signs, zero_mask)
+        assert np.allclose(recovered, data, rtol=1e-12)
+
+    def test_zeros_preserved_exactly(self):
+        data = np.array([0.0, 1.0, 0.0, -2.0])
+        log_mag, signs, zero_mask = quantization.log_transform(data)
+        recovered = quantization.log_inverse_transform(log_mag, signs, zero_mask)
+        assert np.array_equal(recovered == 0.0, data == 0.0)
+        assert np.allclose(recovered, data)
+
+    def test_signs_preserved(self):
+        data = np.array([-1.5, 2.5, -3.5])
+        log_mag, signs, zero_mask = quantization.log_transform(data)
+        assert np.array_equal(signs, np.array([-1.0, 1.0, -1.0]))
+
+    def test_relative_bound_via_log_absolute(self, rng):
+        # Quantizing the log-domain data with bound log1p(eps) must respect
+        # the pointwise relative bound eps on the original data.
+        eps = 1e-2
+        data = rng.normal(size=2000) * np.exp(rng.normal(size=2000) * 3)
+        log_mag, signs, zero_mask = quantization.log_transform(data)
+        log_bound = quantization.relative_to_log_absolute(eps)
+        codes = quantization.quantize(log_mag, log_bound)
+        recovered_log = quantization.dequantize(codes, log_bound)
+        recovered = quantization.log_inverse_transform(recovered_log, signs, zero_mask)
+        nonzero = data != 0
+        rel = np.abs(recovered[nonzero] - data[nonzero]) / np.abs(data[nonzero])
+        assert rel.max() <= eps + 1e-12
+
+    def test_relative_to_log_absolute_monotone(self):
+        assert quantization.relative_to_log_absolute(1e-3) < quantization.relative_to_log_absolute(1e-1)
+
+    def test_relative_to_log_absolute_rejects_nonpositive(self):
+        with pytest.raises(CompressorError):
+            quantization.relative_to_log_absolute(0.0)

@@ -1,0 +1,169 @@
+"""Unit tests for the vectorised gate kernels (repro.statevector.ops)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import gates, standard_gate
+from repro.statevector import ops
+
+
+def _dense_single_qubit_operator(matrix: np.ndarray, qubit: int, num_qubits: int) -> np.ndarray:
+    """Eq. 5: build the full 2^n x 2^n operator by Kronecker products."""
+
+    operator = np.array([[1.0]], dtype=complex)
+    for position in reversed(range(num_qubits)):
+        factor = matrix if position == qubit else np.eye(2)
+        operator = np.kron(operator, factor)
+    return operator
+
+
+def _random_state(num_qubits: int, rng: np.random.Generator) -> np.ndarray:
+    state = rng.normal(size=1 << num_qubits) + 1j * rng.normal(size=1 << num_qubits)
+    return state / np.linalg.norm(state)
+
+
+class TestApplySingleQubit:
+    @pytest.mark.parametrize("num_qubits", [1, 2, 3, 5])
+    @pytest.mark.parametrize("gate_name", ["h", "x", "t", "sx"])
+    def test_matches_kronecker_construction(self, num_qubits, gate_name, rng):
+        matrix = gates.GATE_ALIASES[gate_name]
+        for qubit in range(num_qubits):
+            state = _random_state(num_qubits, rng)
+            expected = _dense_single_qubit_operator(matrix, qubit, num_qubits) @ state
+            actual = state.copy()
+            ops.apply_single_qubit(actual, matrix, qubit)
+            assert np.allclose(actual, expected, atol=1e-12)
+
+    def test_preserves_norm(self, rng):
+        state = _random_state(6, rng)
+        ops.apply_single_qubit(state, gates.H, 3)
+        assert np.linalg.norm(state) == pytest.approx(1.0, abs=1e-12)
+
+    def test_rejects_bad_qubit(self, rng):
+        state = _random_state(3, rng)
+        with pytest.raises(ValueError):
+            ops.apply_single_qubit(state, gates.H, 3)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            ops.apply_single_qubit(np.zeros(6, dtype=complex), gates.H, 0)
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ValueError):
+            ops.apply_single_qubit(np.zeros((2, 2), dtype=complex), gates.H, 0)
+
+
+class TestApplyControlled:
+    def test_cnot_truth_table(self):
+        # CNOT with control 1, target 0 on computational basis states.
+        for control_value in (0, 1):
+            for target_value in (0, 1):
+                index = (control_value << 1) | target_value
+                state = np.zeros(4, dtype=complex)
+                state[index] = 1.0
+                ops.apply_controlled_single_qubit(state, gates.X, 0, (1,))
+                expected_target = target_value ^ control_value
+                expected_index = (control_value << 1) | expected_target
+                assert np.argmax(np.abs(state)) == expected_index
+
+    @pytest.mark.parametrize("num_qubits", [2, 3, 4])
+    def test_matches_dense_controlled_operator(self, num_qubits, rng):
+        state = _random_state(num_qubits, rng)
+        control, target = 1, 0
+        # Build controlled-U densely: identity on |control=0>, U on |control=1>.
+        dim = 1 << num_qubits
+        operator = np.eye(dim, dtype=complex)
+        u = gates.T
+        for index in range(dim):
+            if (index >> control) & 1 and not (index >> target) & 1:
+                j = index | (1 << target)
+                operator[index, index] = u[0, 0]
+                operator[index, j] = u[0, 1]
+                operator[j, index] = u[1, 0]
+                operator[j, j] = u[1, 1]
+        expected = operator @ state
+        actual = state.copy()
+        ops.apply_controlled_single_qubit(actual, u, target, (control,))
+        assert np.allclose(actual, expected, atol=1e-12)
+
+    def test_toffoli_only_flips_when_both_controls_set(self):
+        state = np.zeros(8, dtype=complex)
+        state[0b011] = 1.0  # controls (bits 0,1) set, target bit 2 clear
+        ops.apply_controlled_single_qubit(state, gates.X, 2, (0, 1))
+        assert np.argmax(np.abs(state)) == 0b111
+
+        state = np.zeros(8, dtype=complex)
+        state[0b001] = 1.0  # only one control set
+        ops.apply_controlled_single_qubit(state, gates.X, 2, (0, 1))
+        assert np.argmax(np.abs(state)) == 0b001
+
+    def test_empty_controls_falls_back_to_single_qubit(self, rng):
+        state = _random_state(3, rng)
+        expected = state.copy()
+        ops.apply_single_qubit(expected, gates.H, 1)
+        actual = state.copy()
+        ops.apply_controlled_single_qubit(actual, gates.H, 1, ())
+        assert np.allclose(actual, expected)
+
+    def test_control_equals_target_rejected(self, rng):
+        state = _random_state(3, rng)
+        with pytest.raises(ValueError):
+            ops.apply_controlled_single_qubit(state, gates.X, 1, (1,))
+
+    def test_control_out_of_range_rejected(self, rng):
+        state = _random_state(3, rng)
+        with pytest.raises(ValueError):
+            ops.apply_controlled_single_qubit(state, gates.X, 1, (5,))
+
+
+class TestPairwiseKernel:
+    def test_matches_full_vector_update(self, rng):
+        # Applying U to the top qubit of a 2-block state should equal the
+        # pairwise kernel applied to the two halves.
+        num_qubits = 6
+        state = _random_state(num_qubits, rng)
+        top = num_qubits - 1
+        expected = state.copy()
+        ops.apply_single_qubit(expected, gates.SX, top)
+
+        half = state.size // 2
+        x = state[:half].copy()
+        y = state[half:].copy()
+        ops.apply_single_qubit_pairwise(x, y, gates.SX)
+        assert np.allclose(np.concatenate([x, y]), expected, atol=1e-12)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ops.apply_single_qubit_pairwise(
+                np.zeros(4, dtype=complex), np.zeros(8, dtype=complex), gates.H
+            )
+
+
+class TestControlMaskIndices:
+    def test_selects_expected_indices(self):
+        indices = ops.control_mask_indices(16, 0b0101, 0b0101)
+        assert all((i & 0b0101) == 0b0101 for i in indices)
+        assert len(indices) == 4
+
+    def test_zero_mask_selects_everything(self):
+        assert len(ops.control_mask_indices(8, 0, 0)) == 8
+
+
+class TestApplyGateToVector:
+    def test_dispatches_on_controls(self, rng):
+        state = _random_state(4, rng)
+        uncontrolled = standard_gate("h", 2)
+        controlled = standard_gate("x", 0, controls=(3,))
+        a = state.copy()
+        ops.apply_gate_to_vector(a, uncontrolled)
+        b = state.copy()
+        ops.apply_single_qubit(b, gates.H, 2)
+        assert np.allclose(a, b)
+
+        a = state.copy()
+        ops.apply_gate_to_vector(a, controlled)
+        b = state.copy()
+        ops.apply_controlled_single_qubit(b, gates.X, 0, (3,))
+        assert np.allclose(a, b)
