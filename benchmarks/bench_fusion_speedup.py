@@ -1,0 +1,152 @@
+"""Gate fusion + parallel block-task execution speedup.
+
+The paper's time breakdown (Table 2) shows the per-gate decompress → apply →
+recompress round trip dominating the runtime.  This bench quantifies the two
+attacks this repo mounts on that bottleneck:
+
+* **Fusion** — consecutive same-target/same-control gates multiply into one
+  2x2 unitary, so a whole run costs one round trip per block.  Measured as
+  the reduction in compressor invocations on a QFT-style workload whose
+  per-qubit rotation chains are exactly the fusible pattern.
+* **Parallel tasks** — the disjoint-block tasks of a gate plan run on a
+  thread pool (``SimulatorConfig.num_workers``); zlib and the NumPy kernels
+  release the GIL on block-sized payloads.
+
+Set ``REPRO_BENCH_QUICK=1`` for a CI-sized smoke run.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.circuits import QuantumCircuit, fuse_circuit
+from repro.core import CompressedSimulator, SimulatorConfig
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+
+NUM_QUBITS = 10 if QUICK else 14
+BLOCK_AMPLITUDES = 64 if QUICK else 1024
+LAYERS = 2 if QUICK else 3
+NUM_RANKS = 2
+
+
+def chain_qft_circuit(num_qubits: int, layers: int) -> QuantumCircuit:
+    """QFT-style workload with consecutive same-target rotation chains.
+
+    Each layer applies a 4-gate single-qubit chain per qubit (the fusible
+    pattern; think QFT surrounded by phase-estimation pre/post rotations)
+    followed by a controlled-phase ladder (not fusible: controls differ).
+    """
+
+    circuit = QuantumCircuit(num_qubits, name=f"chain_qft_{num_qubits}")
+    for layer in range(layers):
+        for qubit in range(num_qubits):
+            circuit.h(qubit)
+            circuit.t(qubit)
+            circuit.rz(0.3 * (qubit + 1) * (layer + 1), qubit)
+            circuit.s(qubit)
+        for qubit in range(num_qubits - 1):
+            circuit.cp(math.pi / (2 + qubit + layer), qubit, qubit + 1)
+    return circuit
+
+
+def _run(circuit, num_qubits: int, *, fusion: bool, workers: int) -> dict:
+    config = SimulatorConfig(
+        num_ranks=NUM_RANKS,
+        block_amplitudes=BLOCK_AMPLITUDES,
+        use_block_cache=False,  # keep the round-trip accounting undiluted
+        fusion_enabled=fusion,
+        num_workers=workers,
+    )
+    with CompressedSimulator(num_qubits, config) as simulator:
+        start = time.perf_counter()
+        report = simulator.apply_circuit(circuit)
+        elapsed = time.perf_counter() - start
+        state = simulator.statevector()
+    return {
+        "seconds": elapsed,
+        "compress_calls": report.compress_calls,
+        "decompress_calls": report.decompress_calls,
+        "gates": report.gates_executed,
+        "tasks": report.tasks_executed,
+        "state": state,
+    }
+
+
+def test_fusion_roundtrip_reduction(emit):
+    """Fusion must cut compressor invocations >= 2x on the chain workload."""
+
+    circuit = chain_qft_circuit(NUM_QUBITS, LAYERS)
+    fused, stats = fuse_circuit(circuit)
+    baseline = _run(circuit, NUM_QUBITS, fusion=False, workers=1)
+    with_fusion = _run(circuit, NUM_QUBITS, fusion=True, workers=1)
+
+    reduction = baseline["compress_calls"] / max(1, with_fusion["compress_calls"])
+    rows = [
+        {
+            "mode": "fusion off",
+            "gates": baseline["gates"],
+            "compress_calls": baseline["compress_calls"],
+            "seconds": f"{baseline['seconds']:.3f}",
+        },
+        {
+            "mode": "fusion on",
+            "gates": with_fusion["gates"],
+            "compress_calls": with_fusion["compress_calls"],
+            "seconds": f"{with_fusion['seconds']:.3f}",
+        },
+    ]
+    emit(
+        f"Fusion round-trip reduction ({NUM_QUBITS} qubits, "
+        f"{len(circuit)} gates -> {len(fused)} fused)",
+        format_table(rows)
+        + f"\ncompressor-invocation reduction: {reduction:.2f}x "
+        f"(gate reduction {stats.round_trip_reduction:.2f}x)",
+    )
+
+    # Both executions must produce the same state (lossless compression).
+    assert np.allclose(baseline["state"], with_fusion["state"], atol=1e-10)
+    assert reduction >= 2.0
+
+
+def test_fusion_parallel_beats_sequential_seed_path(emit):
+    """Fusion + 4 workers must beat the seed's sequential path wall-clock."""
+
+    circuit = chain_qft_circuit(NUM_QUBITS, LAYERS)
+    # Warm-up run so allocator/zlib effects don't skew the comparison.
+    _run(circuit, NUM_QUBITS, fusion=False, workers=1)
+
+    sequential = _run(circuit, NUM_QUBITS, fusion=False, workers=1)
+    parallel = _run(circuit, NUM_QUBITS, fusion=True, workers=4)
+
+    speedup = sequential["seconds"] / max(1e-9, parallel["seconds"])
+    rows = [
+        {
+            "mode": "seed (fusion off, 1 worker)",
+            "seconds": f"{sequential['seconds']:.3f}",
+            "tasks": sequential["tasks"],
+        },
+        {
+            "mode": "fusion on, 4 workers",
+            "seconds": f"{parallel['seconds']:.3f}",
+            "tasks": parallel["tasks"],
+        },
+    ]
+    emit(
+        f"Fusion + parallel execution wall-clock ({NUM_QUBITS} qubits, "
+        f"{len(circuit)} gates)",
+        format_table(rows) + f"\nspeedup: {speedup:.2f}x",
+    )
+
+    assert np.allclose(sequential["state"], parallel["state"], atol=1e-10)
+    # The work counters shrink deterministically in every mode; the strict
+    # wall-clock comparison is only enforced in the full-size run (quick mode
+    # exists for CI smoke on shared runners, where timing is too noisy).
+    assert parallel["compress_calls"] * 2 <= sequential["compress_calls"]
+    if not QUICK:
+        assert parallel["seconds"] < sequential["seconds"]

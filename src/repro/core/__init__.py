@@ -6,12 +6,14 @@ from .cache import BlockCache, CacheStats
 from .checkpoint import CheckpointError, load_checkpoint, save_checkpoint
 from .compressed_state import CompressedStateVector
 from .config import PAPER_BLOCK_AMPLITUDES, SimulatorConfig
+from .executor import TaskExecutor
 from .fidelity import FidelityTracker, fidelity_curve, fidelity_lower_bound
 from .report import SimulationReport, Timer
 from .simulator import CompressedSimulator
 
 __all__ = [
     "CompressedSimulator",
+    "TaskExecutor",
     "CompressedStateVector",
     "SimulatorConfig",
     "PAPER_BLOCK_AMPLITUDES",

@@ -9,7 +9,10 @@ are ever decompressed at the same time into reusable scratch buffers
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
@@ -107,7 +110,9 @@ class ScratchPool:
     At most two blocks per rank are decompressed at any time (Figure 2); in
     this single-process reproduction that means two shared ``complex128``
     buffers of one block each, reused for every gate to avoid repeated
-    allocation in the hot loop.
+    allocation in the hot loop.  When the simulator runs block tasks on
+    worker threads the pool is enlarged to two buffers per worker, and each
+    task checks its buffers out through :meth:`lease`.
     """
 
     def __init__(self, block_amplitudes: int, buffers: int = 2) -> None:
@@ -117,6 +122,8 @@ class ScratchPool:
         self._buffers = [
             np.zeros(block_amplitudes, dtype=np.complex128) for _ in range(buffers)
         ]
+        self._available = threading.Condition()
+        self._free = list(range(len(self._buffers)))
 
     @property
     def block_amplitudes(self) -> int:
@@ -134,11 +141,39 @@ class ScratchPool:
     def load(self, index: int, values: np.ndarray) -> np.ndarray:
         """Copy decompressed float64 data into buffer *index* as complex128."""
 
-        target = self._buffers[index]
+        return self.fill(self._buffers[index], values)
+
+    def fill(self, buffer: np.ndarray, values: np.ndarray) -> np.ndarray:
+        """Copy decompressed float64 data into a leased buffer as complex128."""
+
         view = values.view(np.complex128) if values.dtype == np.float64 else values
-        if view.size != target.size:
+        if view.size != buffer.size:
             raise ValueError(
-                f"decompressed block has {view.size} amplitudes, expected {target.size}"
+                f"decompressed block has {view.size} amplitudes, expected {buffer.size}"
             )
-        np.copyto(target, view)
-        return target
+        np.copyto(buffer, view)
+        return buffer
+
+    @contextmanager
+    def lease(self, count: int = 1) -> Iterator[tuple[np.ndarray, ...]]:
+        """Check out *count* scratch buffers; blocks until enough are free.
+
+        All buffers of a task are acquired atomically (no incremental
+        hold-and-wait), so concurrent tasks can never deadlock as long as the
+        pool holds at least one task's worth of buffers.
+        """
+
+        if not 1 <= count <= len(self._buffers):
+            raise ValueError(
+                f"cannot lease {count} of {len(self._buffers)} scratch buffers"
+            )
+        with self._available:
+            while len(self._free) < count:
+                self._available.wait()
+            indices = [self._free.pop() for _ in range(count)]
+        try:
+            yield tuple(self._buffers[index] for index in indices)
+        finally:
+            with self._available:
+                self._free.extend(indices)
+                self._available.notify_all()

@@ -14,6 +14,7 @@ hit rate stays at zero (random circuits), so misses stop costing lookups.
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -79,6 +80,9 @@ class BlockCache:
         self._threshold = miss_disable_threshold
         self._entries: "OrderedDict[bytes, tuple[bytes, bytes | None]]" = OrderedDict()
         self.stats = CacheStats()
+        # Lookups and insertions may come from the executor's worker threads;
+        # one lock keeps the LRU order and the counters consistent.
+        self._mutex = threading.RLock()
 
     @property
     def lines(self) -> int:
@@ -100,23 +104,29 @@ class BlockCache:
     ) -> tuple[bytes, bytes | None] | None:
         """Return the cached output blobs for this pattern, or ``None``."""
 
+        # Unlocked fast path: once disabled, lookups must stay free of the
+        # key hashing cost (the whole point of the disable rule).  The flag
+        # only ever flips False -> True, so a stale read is harmless.
         if self.stats.disabled:
             return None
         key = self._key(op_key, blob1, blob2)
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            if (
-                self._threshold is not None
-                and self.stats.hits == 0
-                and self.stats.misses >= self._threshold
-            ):
-                self.stats.disabled = True
-                self._entries.clear()
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return entry
+        with self._mutex:
+            if self.stats.disabled:
+                return None
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                if (
+                    self._threshold is not None
+                    and self.stats.hits == 0
+                    and self.stats.misses >= self._threshold
+                ):
+                    self.stats.disabled = True
+                    self._entries.clear()
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
 
     def insert(
         self,
@@ -131,19 +141,24 @@ class BlockCache:
         if self.stats.disabled:
             return
         key = self._key(op_key, blob1, blob2)
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = (out1, out2)
-        self.stats.insertions += 1
-        while len(self._entries) > self._lines:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        with self._mutex:
+            if self.stats.disabled:
+                return
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = (out1, out2)
+            self.stats.insertions += 1
+            while len(self._entries) > self._lines:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
 
     def clear(self) -> None:
         """Drop all lines and re-enable the cache (counters are kept)."""
 
-        self._entries.clear()
-        self.stats.disabled = False
+        with self._mutex:
+            self._entries.clear()
+            self.stats.disabled = False
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._mutex:
+            return len(self._entries)

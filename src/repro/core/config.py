@@ -57,6 +57,18 @@ class SimulatorConfig:
         starts directly at the first lossy level (used by the ablation bench).
     track_fidelity_bound:
         Maintain the Π(1 - δ_i) lower bound on simulation fidelity.
+    fusion_enabled:
+        Run the gate-fusion pass (:mod:`repro.circuits.fusion`) before
+        execution: consecutive same-target/same-control gates collapse into
+        one 2x2 unitary, paying a single decompress/recompress round trip per
+        block for the whole run.  Off by default (the seed behaviour).
+    fusion_max_group:
+        Optional cap on gates per fused group (``None`` = unlimited).
+    num_workers:
+        Worker threads for independent block tasks of a gate plan.  ``1``
+        (the default) keeps the seed's sequential execution; larger values
+        run disjoint-block tasks on a thread pool with per-task scratch
+        buffers.  Results are bit-identical regardless of the setting.
     """
 
     num_ranks: int = 1
@@ -71,6 +83,9 @@ class SimulatorConfig:
     cache_miss_disable_threshold: int = 256
     start_lossless: bool = True
     track_fidelity_bound: bool = True
+    fusion_enabled: bool = False
+    fusion_max_group: int | None = None
+    num_workers: int = 1
 
     def __post_init__(self) -> None:
         if self.num_ranks < 1 or self.num_ranks & (self.num_ranks - 1):
@@ -90,6 +105,10 @@ class SimulatorConfig:
         self.error_levels = levels
         if self.cache_lines < 1:
             raise ValueError("cache_lines must be >= 1")
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if self.fusion_max_group is not None and self.fusion_max_group < 1:
+            raise ValueError("fusion_max_group must be >= 1 (or None)")
 
     def resolve_block_amplitudes(self, num_qubits: int, num_ranks: int) -> int:
         """Pick the block size for a given problem when not set explicitly.

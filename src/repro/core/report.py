@@ -9,6 +9,7 @@ while the compressed simulator executes.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -53,6 +54,18 @@ class SimulationReport:
     cache_hits: int = 0
     cache_misses: int = 0
 
+    #: Compressor / decompressor invocations (one per block round trip side).
+    #: Gate fusion exists to shrink these; cache hits skip them entirely.
+    compress_calls: int = 0
+    decompress_calls: int = 0
+
+    #: Block tasks executed (a task covers one block or one block pair).
+    tasks_executed: int = 0
+
+    #: Gates fed into / emitted by the fusion pass (0/0 when fusion is off).
+    fusion_gates_in: int = 0
+    fusion_gates_out: int = 0
+
     #: Smallest compression ratio observed after any gate (Table 2, last row).
     min_compression_ratio: float = float("inf")
     #: Largest total footprint (compressed + scratch) observed, Eq. 8.
@@ -63,6 +76,12 @@ class SimulationReport:
     escalations: int = 0
 
     _buckets: dict = field(default_factory=dict, repr=False)
+    #: Guards the accumulators: with ``num_workers > 1`` timers and counters
+    #: are fed from the executor's worker threads.  Time buckets then sum
+    #: CPU-style across threads (they can exceed wall-clock time).
+    _mutex: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
 
     # -- accumulation -----------------------------------------------------------------
 
@@ -70,7 +89,16 @@ class SimulationReport:
         attr = f"{bucket}_seconds"
         if not hasattr(self, attr):
             raise KeyError(f"unknown time bucket {bucket!r}")
-        setattr(self, attr, getattr(self, attr) + seconds)
+        with self._mutex:
+            setattr(self, attr, getattr(self, attr) + seconds)
+
+    def add_count(self, counter: str, amount: int = 1) -> None:
+        """Thread-safe increment of an integer counter field."""
+
+        if not isinstance(getattr(self, counter, None), int):
+            raise KeyError(f"unknown counter {counter!r}")
+        with self._mutex:
+            setattr(self, counter, getattr(self, counter) + amount)
 
     def timer(self, bucket: str) -> Timer:
         return Timer(self, bucket)
@@ -133,6 +161,11 @@ class SimulationReport:
             "block_exchanges": self.block_exchanges,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "compress_calls": self.compress_calls,
+            "decompress_calls": self.decompress_calls,
+            "tasks_executed": self.tasks_executed,
+            "fusion_gates_in": self.fusion_gates_in,
+            "fusion_gates_out": self.fusion_gates_out,
             "min_compression_ratio": self.min_compression_ratio,
             "peak_footprint_bytes": self.peak_footprint_bytes,
             "fidelity_lower_bound": self.fidelity_lower_bound,
@@ -158,6 +191,8 @@ class SimulationReport:
             f"communication volume : {self.communication_bytes / 2**20:.2f} MiB "
             f"in {self.block_exchanges} block exchanges",
             f"cache                : {self.cache_hits} hits / {self.cache_misses} misses",
+            f"compressor calls     : {self.compress_calls} compress / "
+            f"{self.decompress_calls} decompress over {self.tasks_executed} tasks",
             f"min compression ratio: {self.min_compression_ratio:.2f}",
             f"peak footprint       : {self.peak_footprint_bytes / 2**20:.2f} MiB",
             f"fidelity lower bound : {self.fidelity_lower_bound:.6f}",

@@ -3,10 +3,16 @@
 :class:`CompressedSimulator` executes a circuit Schrödinger-style while the
 state vector stays compressed.  Per gate (Figure 2):
 
+0. (optional) The fusion pass (:mod:`repro.circuits.fusion`) coalesces runs
+   of consecutive same-target/same-control gates so each run pays one block
+   round trip instead of one per gate (``SimulatorConfig.fusion_enabled``).
 1. The gate plan (:func:`repro.distributed.exchange.plan_gate`) lists which
    (rank, block) buffers must be staged together, which depends on the target
    qubit's index segment and the control qubits.
-2. For each task the compressed block cache is consulted; on a miss the block
+2. The :class:`~repro.core.executor.TaskExecutor` runs the plan's tasks —
+   sequentially by default, or concurrently on a thread pool
+   (``SimulatorConfig.num_workers``) since the tasks touch disjoint blocks.
+   Per task the compressed block cache is consulted; on a miss the block
    (or block pair) is decompressed into the scratch pool, the 2x2 unitary is
    applied with the vectorised kernels of :mod:`repro.statevector.ops`, and
    the result is recompressed with the compressor chosen by the adaptive
@@ -20,22 +26,22 @@ state vector stays compressed.  Per gate (Figure 2):
 
 from __future__ import annotations
 
-import time
 from typing import Iterable
 
 import numpy as np
 
 from ..circuits import Gate, QuantumCircuit
+from ..circuits.fusion import fuse_gate_sequence
 from ..compression.interface import Compressor, get_compressor
 from ..distributed.comm import SimulatedCommunicator
-from ..distributed.exchange import BlockTask, GatePlan, plan_gate
+from ..distributed.exchange import plan_gate
 from ..distributed.partition import Partition, QubitSegment
-from ..statevector import ops
 from .adaptive import AdaptiveErrorController
 from .blocks import ScratchPool
 from .cache import BlockCache
 from .compressed_state import CompressedStateVector
 from .config import SimulatorConfig
+from .executor import TaskExecutor
 from .fidelity import FidelityTracker
 from .report import SimulationReport
 
@@ -82,7 +88,11 @@ class CompressedSimulator:
         )
         self._comm = comm or SimulatedCommunicator(self._config.num_ranks)
         self._controller = AdaptiveErrorController(self._config)
-        self._scratch = ScratchPool(block_amplitudes, buffers=2)
+        # Two scratch buffers per worker: every block-pair task leases its
+        # own pair, so parallel tasks never share a staging buffer.
+        self._scratch = ScratchPool(
+            block_amplitudes, buffers=2 * self._config.num_workers
+        )
         self._cache = (
             BlockCache(
                 lines=self._config.cache_lines,
@@ -118,6 +128,15 @@ class CompressedSimulator:
             compressor=lossless if self._config.start_lossless else self._controller.compressor(),
             comm=self._comm,
             initial_basis_state=initial_basis_state,
+        )
+        self._executor = TaskExecutor(
+            state=self._state,
+            scratch=self._scratch,
+            cache=self._cache,
+            decompressors=self._decompressors,
+            report=self._report,
+            comm=self._comm,
+            num_workers=self._config.num_workers,
         )
         self._gate_index = 0
 
@@ -163,12 +182,41 @@ class CompressedSimulator:
     def gate_count(self) -> int:
         return self._gate_index
 
+    @property
+    def executor(self) -> TaskExecutor:
+        return self._executor
+
+    # -- lifecycle ----------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the executor's worker threads (no-op for num_workers=1)."""
+
+        self._executor.close()
+
+    def __enter__(self) -> "CompressedSimulator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     # -- gate execution -----------------------------------------------------------------
 
     def apply_circuit(self, circuit: QuantumCircuit | Iterable[Gate]) -> SimulationReport:
-        """Apply every gate of *circuit*; returns the (running) report."""
+        """Apply every gate of *circuit*; returns the (running) report.
 
-        for gate in circuit:
+        With ``fusion_enabled`` the circuit first goes through the fusion
+        pass, so consecutive same-target/same-control runs execute as single
+        fused gates (``report.fusion_gates_in/out`` record the reduction).
+        """
+
+        gates: Iterable[Gate] = circuit
+        if self._config.fusion_enabled:
+            gates, stats = fuse_gate_sequence(
+                list(circuit), max_group=self._config.fusion_max_group
+            )
+            self._report.fusion_gates_in += stats.gates_in
+            self._report.fusion_gates_out += stats.gates_out
+        for gate in gates:
             self.apply_gate(gate)
         return self.report()
 
@@ -186,8 +234,7 @@ class CompressedSimulator:
         op_key = gate.key() + (compressor.describe(),)
         local_control_mask = self._local_control_mask(plan.local_controls)
 
-        for task in plan.tasks:
-            self._execute_task(gate, plan, task, compressor, op_key, local_control_mask)
+        self._executor.run_plan(gate, plan, compressor, op_key, local_control_mask)
 
         self._gate_index += 1
         self._report.gates_executed = self._gate_index
@@ -201,7 +248,7 @@ class CompressedSimulator:
 
         self._sync_report()
 
-    # -- task execution ---------------------------------------------------------------------
+    # -- planning helpers -------------------------------------------------------------------
 
     def _local_control_mask(self, local_controls: tuple[int, ...]) -> np.ndarray | None:
         """Boolean mask over block offsets selecting amplitudes whose local
@@ -214,104 +261,6 @@ class CompressedSimulator:
             control_bits |= 1 << control
         offsets = np.arange(self._partition.block_amplitudes, dtype=np.int64)
         return (offsets & control_bits) == control_bits
-
-    def _execute_task(
-        self,
-        gate: Gate,
-        plan: GatePlan,
-        task: BlockTask,
-        compressor: Compressor,
-        op_key: tuple,
-        local_control_mask: np.ndarray | None,
-    ) -> None:
-        rank1, block1 = task.first
-        entry1 = self._state.get_block(rank1, block1)
-        entry2 = None
-        if task.second is not None:
-            rank2, block2 = task.second
-            entry2 = self._state.get_block(rank2, block2)
-
-        if task.crosses_ranks and entry2 is not None:
-            # The pair of blocks lives on two ranks: each rank ships its
-            # compressed block to the other before the update (Section 3.3).
-            before = self._comm.modelled_seconds
-            self._comm.exchange_blocks(
-                task.first[0], task.second[0], max(entry1.nbytes, entry2.nbytes)
-            )
-            self._report.communication_seconds += self._comm.modelled_seconds - before
-
-        # Compressed block cache lookup (Section 3.4).
-        if self._cache is not None:
-            cached = self._cache.lookup(
-                op_key, entry1.blob, entry2.blob if entry2 else None
-            )
-            if cached is not None:
-                out1, out2 = cached
-                self._state.put_block(rank1, block1, out1, compressor)
-                if task.second is not None and out2 is not None:
-                    self._state.put_block(task.second[0], task.second[1], out2, compressor)
-                return
-
-        # Decompress into the scratch pool.
-        with self._report.timer("decompression"):
-            buffer1 = self._scratch.load(
-                0, self._decompressors[entry1.compressor].decompress(entry1.blob)
-            )
-            buffer2 = None
-            if entry2 is not None:
-                buffer2 = self._scratch.load(
-                    1, self._decompressors[entry2.compressor].decompress(entry2.blob)
-                )
-
-        # Apply the unitary.
-        with self._report.timer("computation"):
-            if task.second is None:
-                self._apply_local(gate, buffer1, plan.local_controls)
-            else:
-                self._apply_pairwise(gate, buffer1, buffer2, local_control_mask)
-
-        # Recompress and store.
-        with self._report.timer("compression"):
-            out1 = compressor.compress(buffer1.view(np.float64))
-            out2 = None
-            if buffer2 is not None:
-                out2 = compressor.compress(buffer2.view(np.float64))
-        self._state.put_block(rank1, block1, out1, compressor)
-        if task.second is not None and out2 is not None:
-            self._state.put_block(task.second[0], task.second[1], out2, compressor)
-
-        if self._cache is not None:
-            self._cache.insert(
-                op_key, entry1.blob, entry2.blob if entry2 else None, out1, out2
-            )
-
-    def _apply_local(
-        self, gate: Gate, buffer: np.ndarray, local_controls: tuple[int, ...]
-    ) -> None:
-        """Target qubit lies inside the block: in-buffer pair update."""
-
-        ops.apply_controlled_single_qubit(
-            buffer, gate.matrix, gate.target, tuple(local_controls)
-        )
-
-    def _apply_pairwise(
-        self,
-        gate: Gate,
-        buffer_x: np.ndarray,
-        buffer_y: np.ndarray,
-        local_control_mask: np.ndarray | None,
-    ) -> None:
-        """Target qubit selects the block or rank: cross-buffer pair update."""
-
-        if local_control_mask is None:
-            ops.apply_single_qubit_pairwise(buffer_x, buffer_y, gate.matrix)
-            return
-        u00, u01 = gate.matrix[0, 0], gate.matrix[0, 1]
-        u10, u11 = gate.matrix[1, 0], gate.matrix[1, 1]
-        a = buffer_x[local_control_mask]
-        b = buffer_y[local_control_mask]
-        buffer_x[local_control_mask] = u00 * a + u01 * b
-        buffer_y[local_control_mask] = u10 * a + u11 * b
 
     # -- report plumbing ----------------------------------------------------------------------
 
@@ -367,6 +316,16 @@ class CompressedSimulator:
         A block is drawn from the per-block probability mass first, then an
         offset within the (decompressed) block — two-level alias-free
         sampling that only decompresses the blocks actually hit.
+
+        Determinism contract: for a given compressed state and seeded *rng*,
+        the returned counts are identical on every call.  The generator is
+        consumed in a pinned order — one draw for the block choices, then one
+        draw per hit block in ascending flat block index (rank-major) — and
+        nothing here depends on ``num_workers``, which cannot change the
+        stored state (disjoint block writes, deterministic compressors).
+        ``fusion_enabled`` is different: fusing reorders the floating-point
+        arithmetic, so the stored state can differ at the ULP level and
+        counts are only guaranteed stable within one fusion setting.
         """
 
         if shots < 0:
@@ -381,7 +340,9 @@ class CompressedSimulator:
         chosen_blocks = rng.choice(block_mass.size, size=shots, p=block_probs)
         counts: dict[int, int] = {}
         partition = self._partition
-        for block_index in np.unique(chosen_blocks):
+        # np.unique returns its values sorted; the explicit sort pins the rng
+        # consumption order as a contract rather than an implementation detail.
+        for block_index in np.sort(np.unique(chosen_blocks)):
             rank = int(block_index) // partition.blocks_per_rank
             block = int(block_index) % partition.blocks_per_rank
             probs = self._state.probabilities_of_block(rank, block, self._decompressors)

@@ -2,7 +2,7 @@
 
 from .partition import Partition, QubitSegment
 from .comm import CommunicationStats, SimulatedCommunicator
-from .exchange import BlockTask, GatePlan, plan_gate
+from .exchange import BlockTask, GatePlan, plan_fused_group, plan_gate
 
 __all__ = [
     "Partition",
@@ -12,4 +12,5 @@ __all__ = [
     "BlockTask",
     "GatePlan",
     "plan_gate",
+    "plan_fused_group",
 ]

@@ -15,11 +15,13 @@ reference.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from ..circuits import Gate
+from ..circuits.fusion import fuse_run
 from .partition import Partition, QubitSegment
 
-__all__ = ["BlockTask", "GatePlan", "plan_gate"]
+__all__ = ["BlockTask", "GatePlan", "plan_gate", "plan_fused_group"]
 
 
 @dataclass(frozen=True)
@@ -56,6 +58,30 @@ class GatePlan:
     @property
     def touched_buffers(self) -> int:
         return sum(len(task.buffers) for task in self.tasks)
+
+    def independent_groups(self) -> tuple[tuple[BlockTask, ...], ...]:
+        """Partition the tasks into waves of mutually independent tasks.
+
+        Two tasks are independent when their (rank, block) buffer sets are
+        disjoint — they read and write different compressed blocks, so the
+        executor may run them concurrently.  Tasks of a single-gate plan are
+        pairwise disjoint by construction (every block appears in exactly one
+        pair), so such plans yield one wave.  Waves cut the task list at the
+        first buffer conflict, never hoisting a later task past a conflicting
+        earlier one, so executing waves in order preserves the plan's
+        sequential semantics even for plans that revisit a buffer.
+        """
+
+        waves: list[list[BlockTask]] = []
+        used: set[tuple[int, int]] = set()
+        for task in self.tasks:
+            buffers = set(task.buffers)
+            if not waves or used & buffers:
+                waves.append([])
+                used = set()
+            waves[-1].append(task)
+            used |= buffers
+        return tuple(tuple(wave) for wave in waves)
 
 
 def _control_filters(
@@ -147,3 +173,19 @@ def plan_gate(partition: Partition, gate: Gate) -> GatePlan:
         local_controls=local_controls,
         exchange_count=exchange_count,
     )
+
+
+def plan_fused_group(
+    partition: Partition, gates: Sequence[Gate]
+) -> tuple[Gate, GatePlan]:
+    """Plan a run of fusible gates as a single unit of work.
+
+    The run is fused into one gate (:func:`repro.circuits.fusion.fuse_run`),
+    whose plan is then identical to any single gate's — every listed block
+    pays ONE decompress/recompress round trip for the whole group instead of
+    one per constituent gate.  Returns the fused gate together with its plan
+    so the executor can apply the fused matrix.
+    """
+
+    fused = fuse_run(gates)
+    return fused, plan_gate(partition, fused)

@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.analysis.datasets import qaoa_state, supremacy_state
+from repro.core import SimulatorConfig
 
 
 @pytest.fixture
@@ -13,6 +14,36 @@ def rng() -> np.random.Generator:
     """Deterministic random generator for reproducible tests."""
 
     return np.random.default_rng(12345)
+
+
+@pytest.fixture(
+    scope="module", params=["xor-bitplane", "sz", "sz-complex", "reshuffle"]
+)
+def compressor_name(request) -> str:
+    """Registry name of a lossy compressor, parametrized over every family.
+
+    Module-scoped so each test module using it runs once per compressor
+    (the paper's Solutions and the SZ variants).
+    """
+
+    return request.param
+
+
+@pytest.fixture(scope="session")
+def simulator_config():
+    """Factory for laptop-scale :class:`SimulatorConfig` objects.
+
+    Centralises the partition-geometry boilerplate the simulator tests used
+    to repeat inline: ``simulator_config(num_ranks=4, block_amplitudes=8)``
+    or any other keyword accepted by :class:`SimulatorConfig`.
+    """
+
+    def _make(num_ranks: int = 2, block_amplitudes: int = 16, **overrides) -> SimulatorConfig:
+        return SimulatorConfig(
+            num_ranks=num_ranks, block_amplitudes=block_amplitudes, **overrides
+        )
+
+    return _make
 
 
 @pytest.fixture(scope="session")

@@ -4,6 +4,9 @@ These are the tests that validate the paper's central claim end to end: the
 blocked, compressed, (optionally) lossy simulation reproduces the full-state
 simulation — exactly under lossless compression, and within the fidelity
 bound under lossy compression.
+
+Configuration boilerplate lives in the ``simulator_config`` factory fixture
+(``tests/conftest.py``).
 """
 
 from __future__ import annotations
@@ -13,14 +16,9 @@ import pytest
 
 from repro.applications import grover_circuit
 from repro.circuits import QuantumCircuit, ghz_circuit, qft_circuit, uniform_superposition
-from repro.core import CompressedSimulator, SimulatorConfig
+from repro.core import CompressedSimulator
 from repro.distributed import SimulatedCommunicator
 from repro.statevector import simulate_statevector, state_fidelity
-
-
-def _lossless_config(**kwargs) -> SimulatorConfig:
-    return SimulatorConfig(use_block_cache=kwargs.pop("use_block_cache", True), **kwargs)
-
 
 PARTITION_SHAPES = [
     # (num_qubits, num_ranks, block_amplitudes) exercising all three segments
@@ -34,18 +32,18 @@ PARTITION_SHAPES = [
 
 class TestLosslessAgreementWithDense:
     @pytest.mark.parametrize("shape", PARTITION_SHAPES)
-    def test_qft_matches_dense(self, shape):
+    def test_qft_matches_dense(self, shape, simulator_config):
         num_qubits, ranks, block = shape
         circuit = qft_circuit(num_qubits)
         simulator = CompressedSimulator(
-            num_qubits, _lossless_config(num_ranks=ranks, block_amplitudes=block)
+            num_qubits, simulator_config(num_ranks=ranks, block_amplitudes=block)
         )
         simulator.apply_circuit(circuit)
         dense = simulate_statevector(circuit)
         assert state_fidelity(simulator.statevector(), dense) == pytest.approx(1.0, abs=1e-10)
 
     @pytest.mark.parametrize("shape", PARTITION_SHAPES)
-    def test_random_gate_sequence_matches_dense(self, shape, rng):
+    def test_random_gate_sequence_matches_dense(self, shape, rng, simulator_config):
         num_qubits, ranks, block = shape
         circuit = QuantumCircuit(num_qubits)
         gate_pool = ["h", "x", "t", "sx", "s"]
@@ -60,7 +58,7 @@ class TestLosslessAgreementWithDense:
                 a, b, c = rng.choice(num_qubits, size=3, replace=False)
                 circuit.ccx(int(a), int(b), int(c))
         simulator = CompressedSimulator(
-            num_qubits, _lossless_config(num_ranks=ranks, block_amplitudes=block)
+            num_qubits, simulator_config(num_ranks=ranks, block_amplitudes=block)
         )
         simulator.apply_circuit(circuit)
         dense = simulate_statevector(circuit)
@@ -68,7 +66,7 @@ class TestLosslessAgreementWithDense:
         # amplitude, not just in fidelity.
         assert np.allclose(simulator.statevector(), dense, atol=1e-10)
 
-    def test_controlled_gates_across_every_segment(self):
+    def test_controlled_gates_across_every_segment(self, simulator_config):
         # Explicitly place controls/targets in each index segment combination.
         num_qubits, ranks, block = 8, 4, 16  # offsets 0-3, block 4-5, rank 6-7
         combos = [
@@ -83,29 +81,29 @@ class TestLosslessAgreementWithDense:
             circuit.cx(control, target)
             circuit.cp(0.3, control, target)
         simulator = CompressedSimulator(
-            num_qubits, _lossless_config(num_ranks=ranks, block_amplitudes=block)
+            num_qubits, simulator_config(num_ranks=ranks, block_amplitudes=block)
         )
         simulator.apply_circuit(circuit)
         dense = simulate_statevector(circuit)
         assert np.allclose(simulator.statevector(), dense, atol=1e-10)
 
-    def test_initial_basis_state(self):
+    def test_initial_basis_state(self, simulator_config):
         simulator = CompressedSimulator(
-            6, _lossless_config(num_ranks=2, block_amplitudes=8), initial_basis_state=37
+            6, simulator_config(num_ranks=2, block_amplitudes=8), initial_basis_state=37
         )
         assert simulator.probability_of(37) == pytest.approx(1.0)
 
-    def test_norm_preserved(self):
-        simulator = CompressedSimulator(8, _lossless_config(num_ranks=2, block_amplitudes=32))
+    def test_norm_preserved(self, simulator_config):
+        simulator = CompressedSimulator(8, simulator_config(num_ranks=2, block_amplitudes=32))
         simulator.apply_circuit(qft_circuit(8))
         assert simulator.norm_squared() == pytest.approx(1.0, abs=1e-10)
 
 
 class TestLossyFidelity:
-    def test_lossy_state_within_fidelity_bound(self):
+    def test_lossy_state_within_fidelity_bound(self, simulator_config):
         num_qubits = 10
         circuit = qft_circuit(num_qubits)
-        config = SimulatorConfig(
+        config = simulator_config(
             num_ranks=2,
             block_amplitudes=64,
             start_lossless=False,
@@ -119,12 +117,12 @@ class TestLossyFidelity:
         assert fidelity > 0.9
         assert report.final_error_bound == 1e-3
 
-    def test_looser_bound_gives_lower_fidelity_bound(self):
+    def test_looser_bound_gives_lower_fidelity_bound(self, simulator_config):
         num_qubits = 8
         circuit = qft_circuit(num_qubits)
         fidelities = {}
         for bound in (1e-5, 1e-1):
-            config = SimulatorConfig(
+            config = simulator_config(
                 num_ranks=1,
                 block_amplitudes=64,
                 start_lossless=False,
@@ -135,8 +133,8 @@ class TestLossyFidelity:
             fidelities[bound] = report.fidelity_lower_bound
         assert fidelities[1e-5] > fidelities[1e-1]
 
-    def test_fidelity_bound_formula(self):
-        config = SimulatorConfig(
+    def test_fidelity_bound_formula(self, simulator_config):
+        config = simulator_config(
             num_ranks=1, block_amplitudes=32, start_lossless=False, error_levels=(1e-2,)
         )
         simulator = CompressedSimulator(6, config)
@@ -145,11 +143,11 @@ class TestLossyFidelity:
 
 
 class TestAdaptiveEscalation:
-    def test_escalates_under_tight_budget(self):
+    def test_escalates_under_tight_budget(self, simulator_config):
         num_qubits = 10
         # A budget far below the dense size forces lossy compression quickly.
         budget = (1 << num_qubits) * 16 // 4
-        config = SimulatorConfig(
+        config = simulator_config(
             num_ranks=1,
             block_amplitudes=128,
             memory_budget_bytes=budget,
@@ -161,8 +159,8 @@ class TestAdaptiveEscalation:
         assert report.final_error_bound > 0.0
         assert simulator.controller.events[0].from_bound == 0.0
 
-    def test_no_escalation_with_roomy_budget(self):
-        config = SimulatorConfig(
+    def test_no_escalation_with_roomy_budget(self, simulator_config):
+        config = simulator_config(
             num_ranks=1,
             block_amplitudes=64,
             memory_budget_bytes=10**9,
@@ -174,40 +172,38 @@ class TestAdaptiveEscalation:
 
 
 class TestBlockCacheBehaviour:
-    def test_grover_benefits_from_cache(self):
+    def test_grover_benefits_from_cache(self, simulator_config):
         # Grover keeps large groups of amplitudes identical, so many block
         # patterns recur (Section 3.4).  The redundancy is strongest in the
         # Hadamard/X layers; mid-diffusion the blocks diverge, so we assert a
         # healthy absolute hit count rather than a majority.
         circuit = grover_circuit(8, marked=5)
-        config = SimulatorConfig(num_ranks=2, block_amplitudes=16)
-        simulator = CompressedSimulator(8, config)
+        simulator = CompressedSimulator(8, simulator_config(num_ranks=2, block_amplitudes=16))
         report = simulator.apply_circuit(circuit)
         assert report.cache_hits > 300
         assert report.cache_hits / max(1, report.cache_hits + report.cache_misses) > 0.05
 
-    def test_uniform_circuit_has_high_hit_rate(self):
+    def test_uniform_circuit_has_high_hit_rate(self, simulator_config):
         # A circuit whose state keeps all blocks identical (GHZ preparation)
         # should be served almost entirely from the cache.
         circuit = ghz_circuit(10)
-        config = SimulatorConfig(num_ranks=2, block_amplitudes=32)
-        simulator = CompressedSimulator(10, config)
+        simulator = CompressedSimulator(10, simulator_config(num_ranks=2, block_amplitudes=32))
         report = simulator.apply_circuit(circuit)
         assert report.cache_hits > report.cache_misses
 
-    def test_cache_and_no_cache_agree(self):
+    def test_cache_and_no_cache_agree(self, simulator_config):
         circuit = grover_circuit(7, marked=3)
         dense = simulate_statevector(circuit)
         for use_cache in (True, False):
-            config = SimulatorConfig(
+            config = simulator_config(
                 num_ranks=2, block_amplitudes=16, use_block_cache=use_cache
             )
             simulator = CompressedSimulator(7, config)
             simulator.apply_circuit(circuit)
             assert np.allclose(simulator.statevector(), dense, atol=1e-10)
 
-    def test_cache_disabled_configuration(self):
-        config = SimulatorConfig(num_ranks=1, block_amplitudes=32, use_block_cache=False)
+    def test_cache_disabled_configuration(self, simulator_config):
+        config = simulator_config(num_ranks=1, block_amplitudes=32, use_block_cache=False)
         simulator = CompressedSimulator(6, config)
         report = simulator.apply_circuit(ghz_circuit(6))
         assert simulator.cache is None
@@ -215,35 +211,33 @@ class TestBlockCacheBehaviour:
 
 
 class TestCommunicationAccounting:
-    def test_rank_qubit_gates_generate_exchanges(self):
-        config = SimulatorConfig(num_ranks=4, block_amplitudes=8)
-        simulator = CompressedSimulator(7, config)
+    def test_rank_qubit_gates_generate_exchanges(self, simulator_config):
+        simulator = CompressedSimulator(7, simulator_config(num_ranks=4, block_amplitudes=8))
         # Qubits 5 and 6 select the rank (7 qubits, 4 ranks).
         circuit = QuantumCircuit(7).h(6).h(5).h(0)
         report = simulator.apply_circuit(circuit)
         assert report.block_exchanges > 0
         assert report.communication_bytes > 0
 
-    def test_single_rank_never_communicates(self):
-        config = SimulatorConfig(num_ranks=1, block_amplitudes=16)
-        simulator = CompressedSimulator(7, config)
+    def test_single_rank_never_communicates(self, simulator_config):
+        simulator = CompressedSimulator(7, simulator_config(num_ranks=1, block_amplitudes=16))
         report = simulator.apply_circuit(qft_circuit(7))
         assert report.block_exchanges == 0
         assert report.communication_bytes == 0
 
-    def test_bandwidth_model_produces_communication_time(self):
+    def test_bandwidth_model_produces_communication_time(self, simulator_config):
         comm = SimulatedCommunicator(4, bandwidth_bytes_per_s=1e6, latency_s=1e-4)
-        config = SimulatorConfig(num_ranks=4, block_amplitudes=8)
+        config = simulator_config(num_ranks=4, block_amplitudes=8)
         simulator = CompressedSimulator(7, config, comm=comm)
         report = simulator.apply_circuit(QuantumCircuit(7).h(6))
         assert report.communication_seconds > 0
 
 
 class TestStateQueries:
-    def test_probability_and_sampling_consistency(self, rng):
+    def test_probability_and_sampling_consistency(self, rng, simulator_config):
         circuit = grover_circuit(8, marked=42)
         simulator = CompressedSimulator(
-            8, SimulatorConfig(num_ranks=2, block_amplitudes=32)
+            8, simulator_config(num_ranks=2, block_amplitudes=32)
         )
         simulator.apply_circuit(circuit)
         assert simulator.probability_of(42) > 0.9
@@ -251,26 +245,26 @@ class TestStateQueries:
         assert sum(counts.values()) == 200
         assert counts.get(42, 0) > 150
 
-    def test_block_probabilities_sum_to_one(self):
+    def test_block_probabilities_sum_to_one(self, simulator_config):
         simulator = CompressedSimulator(
-            8, SimulatorConfig(num_ranks=4, block_amplitudes=16)
+            8, simulator_config(num_ranks=4, block_amplitudes=16)
         )
         simulator.apply_circuit(uniform_superposition(8))
         assert simulator.block_probabilities().sum() == pytest.approx(1.0, abs=1e-10)
 
-    def test_report_breakdown_fractions_sum_to_one(self):
+    def test_report_breakdown_fractions_sum_to_one(self, simulator_config):
         simulator = CompressedSimulator(
-            6, SimulatorConfig(num_ranks=2, block_amplitudes=16)
+            6, simulator_config(num_ranks=2, block_amplitudes=16)
         )
         report = simulator.apply_circuit(qft_circuit(6))
         assert sum(report.breakdown().values()) == pytest.approx(1.0)
         assert report.gates_executed == len(qft_circuit(6))
         assert report.min_compression_ratio > 1.0
 
-    def test_gate_outside_register_rejected(self):
+    def test_gate_outside_register_rejected(self, simulator_config):
         from repro.circuits import standard_gate
 
-        simulator = CompressedSimulator(4, SimulatorConfig(num_ranks=1, block_amplitudes=4))
+        simulator = CompressedSimulator(4, simulator_config(num_ranks=1, block_amplitudes=4))
         with pytest.raises(ValueError):
             simulator.apply_gate(standard_gate("h", 10))
 

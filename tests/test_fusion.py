@@ -1,0 +1,378 @@
+"""Fusion pass + parallel block-task execution: unit and differential tests.
+
+The differential harness is the safety net for the gate-fusion / scheduling
+refactor: random circuits run through the compressed simulator with fusion
+on/off and ``num_workers`` 1/4 must agree with the dense reference —
+amplitude for amplitude under lossless compression, and within the tracked
+fidelity lower bound under every lossy compressor family.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import (
+    QuantumCircuit,
+    fuse_circuit,
+    fuse_gate_sequence,
+    fuse_run,
+    fusible,
+    ghz_circuit,
+    qft_circuit,
+    standard_gate,
+)
+from repro.circuits.gates import GateError
+from repro.compression.interface import get_compressor
+from repro.core import BlockCache, CompressedSimulator
+from repro.distributed import Partition, plan_fused_group, plan_gate
+from repro.statevector import simulate_statevector
+
+NUM_QUBITS = 6
+
+_single_gates = ("h", "x", "y", "z", "s", "t", "sx")
+
+
+def _chain_circuit(num_qubits: int = 4) -> QuantumCircuit:
+    """Consecutive same-target chains interleaved with entanglers."""
+
+    circuit = QuantumCircuit(num_qubits)
+    for qubit in range(num_qubits):
+        circuit.h(qubit).t(qubit).rz(0.3 * (qubit + 1), qubit).s(qubit)
+    for qubit in range(num_qubits - 1):
+        circuit.cp(0.5, qubit, qubit + 1)
+    return circuit
+
+
+@st.composite
+def fusion_heavy_circuits(draw) -> QuantumCircuit:
+    """Random circuits biased toward fusible same-target runs."""
+
+    circuit = QuantumCircuit(NUM_QUBITS)
+    num_moves = draw(st.integers(min_value=1, max_value=12))
+    for _ in range(num_moves):
+        kind = draw(st.integers(min_value=0, max_value=3))
+        qubits = draw(st.permutations(range(NUM_QUBITS)).map(lambda p: p[:3]))
+        if kind == 0:
+            # A run of gates on one target — what the fusion pass coalesces.
+            for _ in range(draw(st.integers(min_value=1, max_value=4))):
+                circuit.add(draw(st.sampled_from(_single_gates)), qubits[0])
+        elif kind == 1:
+            theta = draw(st.floats(-3.14, 3.14, allow_nan=False))
+            circuit.rz(theta, qubits[0])
+        elif kind == 2:
+            circuit.cx(qubits[0], qubits[1])
+        else:
+            circuit.ccx(qubits[0], qubits[1], qubits[2])
+    return circuit
+
+
+# ---------------------------------------------------------------------------
+# Fusion pass unit tests
+# ---------------------------------------------------------------------------
+
+
+class TestFusionPass:
+    def test_fused_matrix_is_product_in_application_order(self):
+        h = standard_gate("h", 0)
+        t = standard_gate("t", 0)
+        s = standard_gate("s", 0)
+        fused = fuse_run([h, t, s])
+        assert np.allclose(fused.matrix, s.matrix @ t.matrix @ h.matrix)
+        assert fused.targets == (0,)
+        assert fused.controls == ()
+
+    def test_single_gate_run_is_returned_unchanged(self):
+        gate = standard_gate("h", 2)
+        assert fuse_run([gate]) is gate
+
+    def test_fusible_requires_same_target_and_control_set(self):
+        assert fusible(standard_gate("h", 0), standard_gate("t", 0))
+        assert not fusible(standard_gate("h", 0), standard_gate("h", 1))
+        assert not fusible(standard_gate("x", 0, controls=(1,)), standard_gate("x", 0))
+        # Control order is irrelevant: the condition is a set membership test.
+        assert fusible(
+            standard_gate("x", 0, controls=(1, 2)), standard_gate("z", 0, controls=(2, 1))
+        )
+
+    def test_fuse_run_rejects_unfusible_and_empty(self):
+        with pytest.raises(GateError):
+            fuse_run([standard_gate("h", 0), standard_gate("h", 1)])
+        with pytest.raises(GateError):
+            fuse_run([])
+
+    def test_fuse_circuit_statistics(self):
+        circuit = _chain_circuit(4)  # 4 chains of 4 + 3 entanglers
+        fused, stats = fuse_circuit(circuit)
+        assert stats.gates_in == 19
+        assert stats.gates_out == 7
+        assert stats.fused_groups == 4
+        assert stats.max_group == 4
+        assert stats.round_trip_reduction > 2.0
+        assert len(fused) == stats.gates_out
+
+    def test_nothing_to_fuse_preserves_gates(self):
+        circuit = QuantumCircuit(3).h(0).h(1).h(2).cx(0, 1)
+        fused, stats = fuse_circuit(circuit)
+        assert stats.fused_groups == 0
+        assert stats.round_trip_reduction == 1.0
+        assert fused.gates == circuit.gates
+
+    def test_max_group_caps_run_length(self):
+        gates = [standard_gate("t", 0) for _ in range(7)]
+        fused, stats = fuse_gate_sequence(gates, max_group=3)
+        assert [len(g.name.split("+")) if g.name.startswith("fused") else 1 for g in fused] == [3, 3, 1]
+        assert stats.gates_out == 3
+        assert stats.max_group == 3
+
+    def test_fused_circuit_operator_equivalence(self):
+        circuit = _chain_circuit(4)
+        fused, _ = fuse_circuit(circuit)
+        assert np.allclose(
+            simulate_statevector(circuit), simulate_statevector(fused), atol=1e-12
+        )
+
+
+# ---------------------------------------------------------------------------
+# Planning: fused groups and task independence
+# ---------------------------------------------------------------------------
+
+
+class TestFusedPlanning:
+    @pytest.mark.parametrize("target", [0, 3, 5])  # local / block / rank segment
+    def test_plan_fused_group_matches_single_gate_plan(self, target):
+        partition = Partition(num_qubits=6, num_ranks=4, block_amplitudes=4)
+        gates = [standard_gate("h", target), standard_gate("t", target)]
+        fused, plan = plan_fused_group(partition, gates)
+        assert plan == plan_gate(partition, fused)
+        # One plan for the whole run — the same tasks a single gate would get.
+        assert plan.tasks == plan_gate(partition, gates[0]).tasks
+
+    @pytest.mark.parametrize("target", [0, 3, 5])
+    def test_independent_groups_cover_and_are_disjoint(self, target):
+        partition = Partition(num_qubits=6, num_ranks=4, block_amplitudes=4)
+        plan = plan_gate(partition, standard_gate("h", target))
+        waves = plan.independent_groups()
+        seen: list = []
+        for wave in waves:
+            used: set = set()
+            for task in wave:
+                assert not used & set(task.buffers)
+                used |= set(task.buffers)
+            seen.extend(wave)
+        # Single-gate plans touch every block exactly once: one wave.
+        assert len(waves) == 1
+        assert tuple(seen) == plan.tasks
+
+
+# ---------------------------------------------------------------------------
+# Differential tests against the dense simulator
+# ---------------------------------------------------------------------------
+
+
+class TestDifferentialLossless:
+    @given(circuit=fusion_heavy_circuits())
+    @settings(max_examples=12, deadline=None)
+    @pytest.mark.parametrize("fusion", [False, True])
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_matches_dense(self, circuit, fusion, workers, simulator_config):
+        config = simulator_config(
+            num_ranks=2, block_amplitudes=8, fusion_enabled=fusion, num_workers=workers
+        )
+        with CompressedSimulator(NUM_QUBITS, config) as simulator:
+            simulator.apply_circuit(circuit)
+            dense = simulate_statevector(circuit)
+            assert np.allclose(simulator.statevector(), dense, atol=1e-10)
+            assert simulator.norm_squared() == pytest.approx(1.0, abs=1e-9)
+
+    def test_worker_count_is_bit_identical_and_fusion_is_allclose(self, simulator_config):
+        # num_workers cannot change the stored state at all (disjoint block
+        # writes, deterministic compressors); fusion reorders floating-point
+        # arithmetic, so across fusion settings agreement is to tolerance.
+        circuit = _chain_circuit(NUM_QUBITS)
+        states: dict[tuple[bool, int], np.ndarray] = {}
+        for fusion in (False, True):
+            for workers in (1, 4):
+                config = simulator_config(
+                    num_ranks=2,
+                    block_amplitudes=8,
+                    fusion_enabled=fusion,
+                    num_workers=workers,
+                )
+                with CompressedSimulator(NUM_QUBITS, config) as simulator:
+                    simulator.apply_circuit(circuit)
+                    states[fusion, workers] = simulator.statevector()
+        for fusion in (False, True):
+            assert np.array_equal(states[fusion, 1], states[fusion, 4])
+        assert np.allclose(states[False, 1], states[True, 1], atol=1e-12)
+
+
+class TestDifferentialLossy:
+    @given(circuit=fusion_heavy_circuits())
+    @settings(max_examples=6, deadline=None)
+    def test_within_fidelity_bound_across_compressors(
+        self, circuit, compressor_name, simulator_config
+    ):
+        for fusion, workers in ((False, 1), (True, 4)):
+            config = simulator_config(
+                num_ranks=2,
+                block_amplitudes=16,
+                start_lossless=False,
+                lossy_compressor=compressor_name,
+                error_levels=(1e-3,),
+                fusion_enabled=fusion,
+                num_workers=workers,
+            )
+            with CompressedSimulator(NUM_QUBITS, config) as simulator:
+                report = simulator.apply_circuit(circuit)
+                dense = simulate_statevector(circuit)
+                fidelity = simulator.fidelity_vs(dense)
+                assert fidelity >= report.fidelity_lower_bound - 1e-12
+
+    def test_fusion_tightens_lossy_fidelity_bound(self, simulator_config):
+        # Fewer executed gates = fewer lossy recompressions = a tighter
+        # Π(1 - δ) bound.  The measured fidelity must respect both bounds.
+        circuit = _chain_circuit(NUM_QUBITS)
+        bounds = {}
+        for fusion in (False, True):
+            config = simulator_config(
+                num_ranks=1,
+                block_amplitudes=16,
+                start_lossless=False,
+                error_levels=(1e-3,),
+                fusion_enabled=fusion,
+            )
+            with CompressedSimulator(NUM_QUBITS, config) as simulator:
+                report = simulator.apply_circuit(circuit)
+                bounds[fusion] = report.fidelity_lower_bound
+        assert bounds[True] > bounds[False]
+
+
+# ---------------------------------------------------------------------------
+# Round-trip accounting
+# ---------------------------------------------------------------------------
+
+
+class TestRoundTripAccounting:
+    def test_fusion_reduces_compressor_invocations(self, simulator_config):
+        circuit = _chain_circuit(NUM_QUBITS)
+        calls = {}
+        for fusion in (False, True):
+            config = simulator_config(
+                num_ranks=2,
+                block_amplitudes=8,
+                use_block_cache=False,
+                fusion_enabled=fusion,
+            )
+            with CompressedSimulator(NUM_QUBITS, config) as simulator:
+                report = simulator.apply_circuit(circuit)
+                calls[fusion] = report.compress_calls
+                assert report.compress_calls == report.decompress_calls
+        assert calls[False] >= 2 * calls[True]
+
+    def test_fusion_report_fields(self, simulator_config):
+        circuit = _chain_circuit(NUM_QUBITS)
+        config = simulator_config(num_ranks=1, block_amplitudes=16, fusion_enabled=True)
+        with CompressedSimulator(NUM_QUBITS, config) as simulator:
+            report = simulator.apply_circuit(circuit)
+        assert report.fusion_gates_in == len(circuit)
+        assert report.fusion_gates_out == report.gates_executed
+        assert report.fusion_gates_out < report.fusion_gates_in
+        assert report.tasks_executed > 0
+
+
+# ---------------------------------------------------------------------------
+# sample_counts determinism (regression: pinned block iteration order)
+# ---------------------------------------------------------------------------
+
+
+class TestSampleCountsDeterminism:
+    def test_identical_counts_across_runs(self, simulator_config):
+        config = simulator_config(num_ranks=2, block_amplitudes=16)
+        simulator = CompressedSimulator(8, config)
+        simulator.apply_circuit(qft_circuit(8))
+        first = simulator.sample_counts(500, np.random.default_rng(99))
+        second = simulator.sample_counts(500, np.random.default_rng(99))
+        assert first == second
+
+    @pytest.mark.parametrize("fusion", [False, True])
+    def test_identical_counts_across_num_workers(self, fusion, simulator_config):
+        # num_workers cannot change the stored blocks (disjoint writes,
+        # deterministic compressors), so within one fusion setting a seeded
+        # generator must yield the same counts for any worker count.  Fusion
+        # itself reorders floating-point arithmetic, so counts are only
+        # pinned within a fusion setting, not across them.
+        counts = {}
+        for workers in (1, 4):
+            config = simulator_config(
+                num_ranks=2, block_amplitudes=16, fusion_enabled=fusion, num_workers=workers
+            )
+            with CompressedSimulator(8, config) as simulator:
+                simulator.apply_circuit(qft_circuit(8))
+                counts[workers] = simulator.sample_counts(300, np.random.default_rng(7))
+        assert counts[1] == counts[4]
+
+
+# ---------------------------------------------------------------------------
+# Block cache under fused op-keys
+# ---------------------------------------------------------------------------
+
+
+class TestCacheWithFusedOpKeys:
+    def _op_key(self, gate, compressor) -> tuple:
+        return gate.key() + (compressor.describe(),)
+
+    def test_fused_group_and_constituents_use_distinct_lines(self):
+        compressor = get_compressor("lossless")
+        h = standard_gate("h", 0)
+        t = standard_gate("t", 0)
+        fused = fuse_run([h, t])
+        blob = b"compressed-block"
+        cache = BlockCache(lines=8, miss_disable_threshold=None)
+
+        cache.insert(self._op_key(fused, compressor), blob, None, b"fused-out", None)
+        # Neither constituent may alias the fused line (or each other).
+        assert cache.lookup(self._op_key(h, compressor), blob, None) is None
+        assert cache.lookup(self._op_key(t, compressor), blob, None) is None
+        assert cache.lookup(self._op_key(fused, compressor), blob, None) == (
+            b"fused-out",
+            None,
+        )
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 2
+        assert cache.stats.insertions == 1
+
+    def test_two_fused_groups_with_same_name_but_different_matrices(self):
+        compressor = get_compressor("lossless")
+        group_a = fuse_run([standard_gate("rz", 0, params=(0.1,)), standard_gate("h", 0)])
+        group_b = fuse_run([standard_gate("rz", 0, params=(0.2,)), standard_gate("h", 0)])
+        assert group_a.name == group_b.name
+        cache = BlockCache(lines=8, miss_disable_threshold=None)
+        blob = b"block"
+        cache.insert(self._op_key(group_a, compressor), blob, None, b"out-a", None)
+        # Same mnemonic, different fused matrix: must miss.
+        assert cache.lookup(self._op_key(group_b, compressor), blob, None) is None
+
+    def test_hit_miss_accounting_with_fusion_enabled(self, simulator_config):
+        # GHZ keeps blocks identical.  Sequentially that redundancy shows up
+        # as cache hits; with workers > 1 the executor dedupes identical
+        # tasks per wave instead, so hits may drop but the compressor work
+        # must not grow.  In both modes the report's accounting must mirror
+        # the cache's own counters.
+        reports = {}
+        for workers in (1, 4):
+            config = simulator_config(
+                num_ranks=2, block_amplitudes=16, fusion_enabled=True, num_workers=workers
+            )
+            with CompressedSimulator(8, config) as simulator:
+                report = simulator.apply_circuit(ghz_circuit(8))
+                cache = simulator.cache
+                assert cache is not None
+                assert cache.stats.hits == report.cache_hits
+                assert cache.stats.misses == report.cache_misses
+                assert cache.stats.lookups == report.cache_hits + report.cache_misses
+                reports[workers] = report
+        assert reports[1].cache_hits > 0
+        assert reports[4].compress_calls <= reports[1].compress_calls
+        assert reports[4].tasks_executed == reports[1].tasks_executed

@@ -5,6 +5,9 @@ partition geometry, the blocked/compressed simulation under lossless
 compression is amplitude-for-amplitude identical to the dense reference, and
 under lossy compression the measured fidelity never falls below the
 Π(1 - δ) bound the simulator reports.
+
+The ``simulator_config`` factory fixture is session-scoped, which keeps it
+compatible with hypothesis's function-scoped-fixture health check.
 """
 
 from __future__ import annotations
@@ -14,7 +17,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.circuits import QuantumCircuit
-from repro.core import CompressedSimulator, SimulatorConfig
+from repro.core import CompressedSimulator
 from repro.statevector import simulate_statevector, state_fidelity
 
 NUM_QUBITS = 6
@@ -60,9 +63,9 @@ _partitions = st.sampled_from(
 class TestLosslessEquivalence:
     @given(circuit=random_circuits(), shape=_partitions)
     @settings(max_examples=30, deadline=None)
-    def test_matches_dense_amplitude_for_amplitude(self, circuit, shape):
+    def test_matches_dense_amplitude_for_amplitude(self, circuit, shape, simulator_config):
         ranks, block = shape
-        config = SimulatorConfig(num_ranks=ranks, block_amplitudes=block)
+        config = simulator_config(num_ranks=ranks, block_amplitudes=block)
         simulator = CompressedSimulator(NUM_QUBITS, config)
         simulator.apply_circuit(circuit)
         dense = simulate_statevector(circuit)
@@ -71,10 +74,10 @@ class TestLosslessEquivalence:
 
     @given(circuit=random_circuits())
     @settings(max_examples=15, deadline=None)
-    def test_cache_does_not_change_results(self, circuit):
+    def test_cache_does_not_change_results(self, circuit, simulator_config):
         states = []
         for use_cache in (True, False):
-            config = SimulatorConfig(
+            config = simulator_config(
                 num_ranks=2, block_amplitudes=16, use_block_cache=use_cache
             )
             simulator = CompressedSimulator(NUM_QUBITS, config)
@@ -89,8 +92,8 @@ class TestLossyFidelityBound:
         bound=st.sampled_from([1e-4, 1e-3, 1e-2]),
     )
     @settings(max_examples=20, deadline=None)
-    def test_measured_fidelity_respects_reported_bound(self, circuit, bound):
-        config = SimulatorConfig(
+    def test_measured_fidelity_respects_reported_bound(self, circuit, bound, simulator_config):
+        config = simulator_config(
             num_ranks=2,
             block_amplitudes=16,
             start_lossless=False,
