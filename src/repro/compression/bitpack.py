@@ -1,0 +1,135 @@
+"""Vectorised variable-width bitfield packing.
+
+Both entropy stages of the codec layer — the canonical Huffman coder
+(:mod:`repro.compression.huffman`) and the ZFP-style embedded coefficient
+coder (:mod:`repro.compression.zfp_like`) — serialise a sequence of values
+whose *i*-th element occupies ``widths[i]`` bits, most significant bit first,
+concatenated back to back and packed eight bits per byte (the exact layout
+``np.packbits``/``np.unpackbits`` use with their default big-endian bit
+order).
+
+The seed implementations expanded these fields with a Python loop over bit
+*positions* (``for bit in range(max_width)``), i.e. one masked full-array
+pass per bit plane.  The helpers here work in one shot instead.  Packing
+assembles the stream directly as uint64 words: every field is left-justified
+to 64 bits, split into its (at most two) overlapping stream words, and the
+per-word fragments are OR-folded with ``np.bitwise_or.reduceat`` — all
+operations are over *field*-sized arrays, never bit-sized ones.  Unpacking
+fans the bit array out with one ``np.repeat`` and folds per-field with
+``reduceat``.  No Python loop runs over values, bits, or bytes, and the byte
+layout is bit-identical to the seed's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .interface import CompressorError
+
+__all__ = ["pack_bitfields", "unpack_bitfields"]
+
+
+def pack_bitfields(values: np.ndarray, widths: np.ndarray) -> tuple[np.ndarray, int]:
+    """Concatenate ``values[i]`` as a ``widths[i]``-bit big-endian field.
+
+    Parameters
+    ----------
+    values:
+        Unsigned field values; only the low ``widths[i]`` bits of each are
+        emitted (callers guarantee the values fit).
+    widths:
+        Per-field bit widths in ``[0, 64]``; zero-width fields emit nothing.
+
+    Returns
+    -------
+    ``(packed, total_bits)`` where *packed* is the ``np.packbits`` byte array
+    of the concatenated bit string.
+    """
+
+    values = np.ascontiguousarray(values, dtype=np.uint64)
+    widths = np.ascontiguousarray(widths, dtype=np.int64)
+    if values.shape != widths.shape or values.ndim != 1:
+        raise ValueError("values and widths must be matching 1-D arrays")
+    total_bits = int(widths.sum())
+    if total_bits == 0:
+        return np.zeros(0, dtype=np.uint8), 0
+
+    ends = np.cumsum(widths)
+    starts = ends - widths
+    # Zero-width fields emit nothing; drop them up front so no fragment is
+    # computed for them (their empty "tail" could otherwise index one word
+    # past the stream when they sit at a 64-bit-aligned stream end) and so
+    # the left-justifying shift below stays within [0, 63].
+    nonzero = widths > 0
+    if not nonzero.all():
+        values = values[nonzero]
+        widths = widths[nonzero]
+        starts = starts[nonzero]
+    # Left-justify every field to 64 bits, then split it into its (at most
+    # two) overlapping words of the output stream.  Stream bit b lives in
+    # word b >> 6, with bit 64*w being that word's MSB.
+    left = values << (np.uint64(64) - widths.astype(np.uint64))
+    word_idx = starts >> 6
+    rot = (starts & 63).astype(np.uint64)
+    head = left >> rot
+    # The spill into the following word; a shift by 64 is undefined, so the
+    # rot == 0 case (no spill) is masked out explicitly.
+    tail = np.where(
+        rot > 0, left << ((np.uint64(64) - rot) & np.uint64(63)), np.uint64(0)
+    )
+
+    num_words = (total_bits + 63) // 64
+    words = np.zeros(num_words + 1, dtype=np.uint64)  # +1: tail slack
+    # word_idx is sorted (starts are monotone), so each word's fragments are
+    # one contiguous run; reduceat over the run starts OR-folds them.
+    for idx, frag in ((word_idx, head), (word_idx + 1, tail)):
+        run_starts = np.flatnonzero(np.diff(idx, prepend=-1))
+        words[idx[run_starts]] |= np.bitwise_or.reduceat(frag, run_starts)
+    # The stream is MSB-first, so each word serialises big-endian.
+    packed = words.byteswap().view(np.uint8)[: (total_bits + 7) // 8]
+    return packed.copy(), total_bits
+
+
+def unpack_bitfields(
+    bits: np.ndarray, widths: np.ndarray
+) -> np.ndarray:
+    """Inverse of :func:`pack_bitfields` given the unpacked bit array.
+
+    Parameters
+    ----------
+    bits:
+        The uint8 0/1 bit array (``np.unpackbits`` output, already trimmed to
+        the stream's total bit count).
+    widths:
+        Per-field bit widths; ``widths.sum()`` must equal ``bits.size``.
+
+    Returns
+    -------
+    uint64 array of field values (zero for zero-width fields).
+    """
+
+    bits = np.ascontiguousarray(bits, dtype=np.uint8)
+    widths = np.ascontiguousarray(widths, dtype=np.int64)
+    total_bits = int(widths.sum())
+    if total_bits != bits.size:
+        # A mismatch means the blob was truncated or corrupted — surface it
+        # as the codec error contract, not a bare ValueError.
+        raise CompressorError(
+            f"bit stream has {bits.size} bits, field widths need {total_bits}"
+        )
+    values = np.zeros(widths.size, dtype=np.uint64)
+    if total_bits == 0:
+        return values
+
+    ends = np.cumsum(widths)
+    starts = ends - widths
+    field_of_bit = np.repeat(np.arange(widths.size, dtype=np.int64), widths)
+    bit_in_field = np.arange(total_bits, dtype=np.int64) - starts[field_of_bit]
+    shifts = (widths[field_of_bit] - 1 - bit_in_field).astype(np.uint64)
+    contrib = bits.astype(np.uint64) << shifts
+    # OR the per-bit contributions back together per field.  ``reduceat``
+    # mishandles empty segments (it returns the element at the segment start
+    # instead of the identity), so reduce over non-empty fields only.
+    nonzero = widths > 0
+    values[nonzero] = np.bitwise_or.reduceat(contrib, starts[nonzero])
+    return values

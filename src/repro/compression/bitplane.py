@@ -188,10 +188,13 @@ def pack_leading_zero_stream(xored: np.ndarray, keep_bytes: int) -> tuple[bytes,
     columns = np.arange(keep_bytes, dtype=np.uint8)[None, :]
     keep_mask = columns >= codes[:, None]
     suffix = byte_matrix[keep_mask]
-    # Pack the 2-bit codes, four per byte.
-    packed_codes = np.packbits(
-        np.unpackbits(codes[:, None], axis=1, count=8)[:, -2:].reshape(-1)
-    )
+    # Pack the 2-bit codes, four per byte (MSB-first, same layout the
+    # unpackbits/packbits detour produced): extract both bits of each code
+    # directly instead of expanding all eight bit planes per byte.
+    code_bits = np.empty((codes.size, 2), dtype=np.uint8)
+    code_bits[:, 0] = codes >> 1
+    code_bits[:, 1] = codes & 1
+    packed_codes = np.packbits(code_bits.reshape(-1))
     return packed_codes.tobytes(), suffix.tobytes()
 
 
@@ -202,9 +205,10 @@ def unpack_leading_zero_stream(
 
     if count == 0:
         return np.zeros(0, dtype=np.uint64)
-    code_bits = np.unpackbits(np.frombuffer(packed_codes, dtype=np.uint8))
-    code_bits = code_bits[: count * 2].reshape(count, 2)
-    codes = (code_bits[:, 0].astype(np.uint8) << 1) | code_bits[:, 1]
+    code_bits = np.unpackbits(
+        np.frombuffer(packed_codes, dtype=np.uint8), count=count * 2
+    ).reshape(count, 2)
+    codes = (code_bits[:, 0] << 1) | code_bits[:, 1]
     codes = np.minimum(codes, keep_bytes)
 
     columns = np.arange(keep_bytes, dtype=np.uint8)[None, :]

@@ -85,11 +85,12 @@ def per_block_max_relative_error(
         raise ValueError("block_size must be positive")
     rel = pointwise_relative_errors(original, recovered)
     num_blocks = (rel.size + block_size - 1) // block_size
-    maxima = np.empty(num_blocks, dtype=np.float64)
-    for index in range(num_blocks):
-        chunk = rel[index * block_size : (index + 1) * block_size]
-        maxima[index] = chunk.max(initial=0.0)
-    return maxima
+    # Pad the trailing partial block with zeros (relative errors are >= 0,
+    # and an empty block's maximum is defined as 0) and reduce row-wise —
+    # one reshaped max instead of a Python loop over blocks.
+    padded = np.zeros(num_blocks * block_size, dtype=np.float64)
+    padded[: rel.size] = rel
+    return padded.reshape(num_blocks, block_size).max(axis=1)
 
 
 def normalized_errors(

@@ -71,8 +71,8 @@ def compress_absolute_stream(
 
     codes = quantization.quantize(array, bound)
     deltas = np.empty_like(codes)
-    deltas[0] = codes[0] if codes.size else 0
-    if codes.size > 1:
+    if codes.size:
+        deltas[0] = codes[0]
         deltas[1:] = codes[1:] - codes[:-1]
 
     half_bins = max_bins // 2
@@ -120,30 +120,27 @@ def decompress_absolute_stream(
     half_bins = max_bins // 2
     is_escape = bounded == half_bins
 
-    # Rebuild grid codes: cumulative sum of deltas, with escaped positions
-    # re-anchored on the exact stored values.
-    values = np.empty(count, dtype=np.float64)
-    deltas = bounded.astype(np.float64)
-    # Escape positions contribute their own quantized code to the running sum;
-    # easiest correct reconstruction is sequential over escape segments.
+    # Rebuild grid codes.  Every escape re-anchors the running sum on its own
+    # quantized code, so the reconstruction is one global cumulative sum of
+    # the deltas (with escape deltas zeroed) plus a per-segment offset: for
+    # the segment after escape k the offset is the escape's code minus the
+    # cumulative sum at its anchor.  The offsets broadcast to positions with
+    # one np.repeat over the segment lengths — no loop over segments.
     escape_indices = np.flatnonzero(is_escape)
-    escape_codes = quantization.quantize(escape_values, bound) if num_escapes else None
-
-    codes = np.zeros(count, dtype=np.int64)
-    prev_idx = 0
-    prev_code = 0
-    for seg, idx in enumerate(escape_indices):
-        # positions (prev_idx, idx) are predictable: cumulative sum from the
-        # previous anchor.
-        if idx > prev_idx:
-            codes[prev_idx:idx] = prev_code + np.cumsum(deltas[prev_idx:idx]).astype(
-                np.int64
-            )
-        codes[idx] = escape_codes[seg]
-        prev_code = codes[idx]
-        prev_idx = idx + 1
-    if prev_idx < count:
-        codes[prev_idx:] = prev_code + np.cumsum(deltas[prev_idx:]).astype(np.int64)
+    if escape_indices.size != num_escapes:
+        raise CompressorError(
+            f"SZ stream decoded {escape_indices.size} escapes, "
+            f"header claims {num_escapes}"
+        )
+    codes = np.where(is_escape, 0, bounded)
+    np.cumsum(codes, out=codes)
+    if escape_indices.size:
+        escape_codes = quantization.quantize(escape_values, bound)
+        segment_offsets = escape_codes - codes[escape_indices]
+        segment_lengths = np.diff(escape_indices, append=count)
+        # Positions before the first escape keep the plain cumulative sum
+        # (offset 0), exactly as the seed's sequential walk did.
+        codes[escape_indices[0] :] += np.repeat(segment_offsets, segment_lengths)
 
     values = quantization.dequantize(codes, bound)
     if num_escapes:
@@ -243,10 +240,13 @@ class SZCompressor(Compressor):
     def compress(self, data: np.ndarray) -> bytes:
         array = self._as_float64(data)
         if array.size == 0:
-            return pack_header(_TAG_ABS, 0, b"") + lossless_compress_bytes(
-                struct.pack("<dIQQ", self.bound, self._max_bins, 0, 0),
-                self._backend,
-                self._level,
+            # Empty blocks share the regular absolute-stream payload layout
+            # (<dIQ> header + Huffman length + empty Huffman blob) instead of
+            # the seed's ad-hoc <dIQQ> struct, so every SZ payload now parses
+            # with the same reader.  Decoders still accept the old layout:
+            # they short-circuit on count == 0 without touching the payload.
+            return pack_header(_TAG_ABS, 0, b"") + compress_absolute_stream(
+                array, self.bound, self._max_bins, self._backend, self._level
             )
         if self.mode is ErrorBoundMode.ABSOLUTE:
             return self._compress_abs(array)

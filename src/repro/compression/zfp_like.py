@@ -31,6 +31,7 @@ import struct
 import numpy as np
 
 from . import quantization
+from .bitpack import pack_bitfields, unpack_bitfields
 from .interface import (
     Compressor,
     CompressorError,
@@ -126,19 +127,7 @@ class ZFPLikeCompressor(Compressor):
         widths[too_small] += 1
 
         per_coeff_width = np.repeat(widths, BLOCK_SIZE).astype(np.int64)
-        total_bits = int(per_coeff_width.sum())
-        bit_array = np.zeros(total_bits, dtype=np.uint8)
-        ends = np.cumsum(per_coeff_width)
-        starts = ends - per_coeff_width
-        max_width = int(widths.max(initial=0))
-        for bit in range(max_width):
-            mask = per_coeff_width > bit
-            if not mask.any():
-                continue
-            shifts = (per_coeff_width[mask] - 1 - bit).astype(np.uint64)
-            bits = (zigzag[mask] >> shifts) & np.uint64(1)
-            bit_array[starts[mask] + bit] = bits.astype(np.uint8)
-        packed = np.packbits(bit_array) if total_bits else np.zeros(0, dtype=np.uint8)
+        packed, total_bits = pack_bitfields(zigzag, per_coeff_width)
 
         header = struct.pack("<dQQ", step, zigzag.size, total_bits)
         return header + widths.tobytes() + packed.tobytes()
@@ -157,16 +146,7 @@ class ZFPLikeCompressor(Compressor):
         )
 
         per_coeff_width = np.repeat(widths.astype(np.int64), BLOCK_SIZE)
-        ends = np.cumsum(per_coeff_width)
-        starts = ends - per_coeff_width
-        zigzag = np.zeros(total, dtype=np.uint64)
-        max_width = int(widths.max(initial=0))
-        for bit in range(max_width):
-            mask = per_coeff_width > bit
-            if not mask.any():
-                continue
-            shifts = (per_coeff_width[mask] - 1 - bit).astype(np.uint64)
-            zigzag[mask] |= bits[starts[mask] + bit].astype(np.uint64) << shifts
+        zigzag = unpack_bitfields(bits, per_coeff_width)
 
         signs = (zigzag & np.uint64(1)).astype(np.int64)
         magnitudes = (zigzag >> np.uint64(1)).astype(np.int64) + signs

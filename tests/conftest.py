@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.analysis.datasets import qaoa_state, supremacy_state
+from repro.compression import get_compressor
 from repro.core import SimulatorConfig
 
 
@@ -27,6 +28,38 @@ def compressor_name(request) -> str:
     """
 
     return request.param
+
+
+@pytest.fixture(
+    scope="module", params=["sz", "zfp", "xor-bitplane", "lossless"]
+)
+def codec_name(request) -> str:
+    """Registry name of a *codec* (one representative per wire format).
+
+    Mirrors :func:`compressor_name` but spans the codec families whose blob
+    formats the golden tests pin — including the lossless stage, which
+    ``compressor_name`` (lossy-only) deliberately excludes.  Use
+    :func:`make_codec` to instantiate.
+    """
+
+    return request.param
+
+
+@pytest.fixture(scope="module")
+def make_codec():
+    """Factory instantiating a codec by registry name with laptop defaults.
+
+    The lossless codec takes no error bound; every lossy codec gets the same
+    mid-range relative/absolute bound so parametrized tests compare formats,
+    not tolerances.
+    """
+
+    def _make(name: str, bound: float = 1e-3, **overrides):
+        if name == "lossless":
+            return get_compressor(name, **overrides)
+        return get_compressor(name, bound=bound, **overrides)
+
+    return _make
 
 
 @pytest.fixture(scope="session")

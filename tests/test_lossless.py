@@ -66,15 +66,8 @@ class TestLosslessCompressor:
         assert compressor.bound == 0.0
         assert "lossless" in compressor.describe()
 
-    def test_empty_array(self):
-        compressor = LosslessCompressor()
-        recovered = compressor.decompress(compressor.compress(np.zeros(0)))
-        assert recovered.size == 0
-
-    def test_rejects_foreign_blob(self):
-        compressor = LosslessCompressor()
-        with pytest.raises(CompressorError):
-            compressor.decompress(b"not a blob at all")
+    # (empty-array and foreign/garbage-blob rejection moved to the
+    # codec_name-parametrized tests in test_codecs_common.py)
 
     def test_rejects_unknown_backend(self):
         with pytest.raises(CompressorError):
