@@ -9,21 +9,23 @@ count because both the number of blocks per gate and the number of gates grow.
 
 from __future__ import annotations
 
-import time
-
+import repro
 from repro.analysis import format_table
 from repro.applications import hadamard_scaling_circuit
-from repro.core import CompressedSimulator, SimulatorConfig
+from repro.core import SimulatorConfig
 
 QUBIT_RANGE = (12, 13, 14, 15, 16)
 
 
 def _run(num_qubits: int) -> float:
     config = SimulatorConfig(num_ranks=1, block_amplitudes=1024, use_block_cache=False)
-    simulator = CompressedSimulator(num_qubits, config)
-    start = time.perf_counter()
-    simulator.apply_circuit(hadamard_scaling_circuit(num_qubits))
-    return time.perf_counter() - start
+    result = repro.run(
+        hadamard_scaling_circuit(num_qubits), backend="compressed", config=config
+    )
+    # The report's bucketed total covers gate execution only — simulator
+    # construction and result packaging stay out of the scaling curve, as
+    # in the pre-unified-API version of this bench.
+    return result.report["total_seconds"]
 
 
 def test_fig15_single_node_qubit_scaling(benchmark, emit):

@@ -6,7 +6,8 @@ compression / decompression / communication / computation breakdown, time per
 gate, simulation fidelity and the minimum compression ratio.
 
 This bench runs scaled-down instances of all four applications through the
-compressed simulator with a memory budget well below the dense requirement
+unified ``repro.run()`` entry point (compressed backend) with a memory
+budget well below the dense requirement
 (so the adaptive lossless->lossy pipeline is exercised exactly as on Theta)
 and prints the same columns.  The qualitative orderings the paper draws from
 the table are asserted:
@@ -22,6 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
+import repro
 from repro.analysis import format_table, qubit_gain_from_ratio
 from repro.applications import (
     grover_circuit,
@@ -30,7 +32,7 @@ from repro.applications import (
     random_regular_graph,
     random_supremacy_circuit,
 )
-from repro.core import CompressedSimulator, SimulatorConfig
+from repro.core import SimulatorConfig
 
 
 def _workloads():
@@ -65,26 +67,25 @@ def _run(name: str, circuit, num_qubits: int, state_fraction: float) -> dict:
         block_amplitudes=block_amplitudes,
         memory_budget_bytes=budget,
     )
-    simulator = CompressedSimulator(num_qubits, config)
-    report = simulator.apply_circuit(circuit)
-    breakdown = report.breakdown()
+    result = repro.run(circuit, backend="compressed", config=config)
+    report = result.report
     return {
         "benchmark": name,
         "qubits": num_qubits,
         "mem_req_MiB": dense_bytes / 2**20,
         "state_budget_pct": 100 * state_fraction,
-        "gates": report.gates_executed,
-        "total_s": report.total_seconds,
-        "cmp_pct": 100 * breakdown["compression"],
-        "dec_pct": 100 * breakdown["decompression"],
-        "comm_pct": 100 * breakdown["communication"],
-        "comp_pct": 100 * breakdown["computation"],
-        "ms_per_gate": 1e3 * report.seconds_per_gate,
-        "fidelity_bound": report.fidelity_lower_bound,
-        "final_bound": report.final_error_bound,
-        "min_ratio": report.min_compression_ratio,
-        "final_ratio": simulator.state.compression_ratio(),
-        "qubit_gain": qubit_gain_from_ratio(max(report.min_compression_ratio, 1.0)),
+        "gates": report["gates_executed"],
+        "total_s": report["total_seconds"],
+        "cmp_pct": 100 * report["compression_fraction"],
+        "dec_pct": 100 * report["decompression_fraction"],
+        "comm_pct": 100 * report["communication_fraction"],
+        "comp_pct": 100 * report["computation_fraction"],
+        "ms_per_gate": 1e3 * report["seconds_per_gate"],
+        "fidelity_bound": report["fidelity_lower_bound"],
+        "final_bound": report["final_error_bound"],
+        "min_ratio": report["min_compression_ratio"],
+        "final_ratio": result.metadata["compression_ratio"],
+        "qubit_gain": qubit_gain_from_ratio(max(report["min_compression_ratio"], 1.0)),
     }
 
 

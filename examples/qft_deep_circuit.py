@@ -12,9 +12,8 @@ Run with:  python examples/qft_deep_circuit.py
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro import CompressedSimulator, SimulatorConfig, simulate_statevector
+import repro
+from repro import SimulatorConfig, state_fidelity
 from repro.applications import qft_benchmark_circuit
 from repro.compression.interface import PAPER_ERROR_LEVELS
 
@@ -24,21 +23,25 @@ def main() -> None:
     circuit = qft_benchmark_circuit(num_qubits, seed=3)
     print(f"QFT benchmark: {num_qubits} qubits, {len(circuit)} gates")
 
-    reference = simulate_statevector(circuit)
+    reference = repro.run(circuit, backend="dense", return_statevector=True).statevector
 
     print(f"{'error bound':>12} {'fidelity bound':>15} {'measured fidelity':>18}")
     for bound in PAPER_ERROR_LEVELS:
-        config = SimulatorConfig(
-            num_ranks=2,
-            start_lossless=False,
-            error_levels=(bound,),
-            use_block_cache=False,
+        result = repro.run(
+            circuit,
+            backend="compressed",
+            return_statevector=True,
+            config=SimulatorConfig(
+                num_ranks=2,
+                start_lossless=False,
+                error_levels=(bound,),
+                use_block_cache=False,
+            ),
         )
-        simulator = CompressedSimulator(num_qubits, config)
-        report = simulator.apply_circuit(circuit)
-        fidelity = simulator.fidelity_vs(reference)
+        fidelity = state_fidelity(result.statevector, reference)
         print(
-            f"{bound:12g} {report.fidelity_lower_bound:15.6f} {fidelity:18.12f}"
+            f"{bound:12g} {result.report['fidelity_lower_bound']:15.6f} "
+            f"{fidelity:18.12f}"
         )
 
     print(

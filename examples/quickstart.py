@@ -1,24 +1,18 @@
-"""Quickstart: simulate a circuit with the compressed full-state simulator.
+"""Quickstart: the unified ``repro.run()`` API over both simulators.
 
-Builds a small GHZ-plus-QFT circuit, runs it through both the dense reference
-simulator and the compressed simulator, and prints the memory footprint, the
-compression ratio, the fidelity between the two results and the time
-breakdown — the quantities the paper's Table 2 reports for every benchmark.
+Builds a small GHZ-plus-QFT circuit and runs it through the backend registry
+— once on the dense reference engine and once on the compressed engine — with
+one call each.  Sampling, observables and the Table-2 style report all come
+back in the same :class:`repro.Result` record, so comparing the engines is a
+dict lookup, not a rewrite.
 
 Run with:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro import (
-    CompressedSimulator,
-    DenseSimulator,
-    QuantumCircuit,
-    SimulatorConfig,
-    state_fidelity,
-)
+import repro
+from repro import PauliObservable, QuantumCircuit, SimulatorConfig, state_fidelity
 from repro.circuits import qft_circuit
 
 
@@ -37,32 +31,53 @@ def main() -> None:
     num_qubits = 14
     circuit = build_circuit(num_qubits)
     print(f"circuit: {circuit.name}, {circuit.num_qubits} qubits, {len(circuit)} gates")
+    print(f"available backends: {repro.available_backends()}\n")
+
+    # An observable evaluated on the final state by both engines — on the
+    # compressed backend this never materialises the state vector.
+    observable = PauliObservable.single("Z", 0, num_qubits).with_label("Z0")
 
     # Reference: the ordinary dense Schrödinger simulation (Intel-QS role).
-    dense = DenseSimulator(num_qubits)
-    dense.apply_circuit(circuit)
-    print(f"dense simulator state size : {dense.memory_bytes() / 2**20:.2f} MiB")
+    dense = repro.run(
+        circuit,
+        backend="dense",
+        shots=5,
+        observables=observable,
+        seed=0,
+        return_statevector=True,
+    )
+    print(f"dense simulator state size : {dense.metadata['memory_bytes'] / 2**20:.2f} MiB")
 
     # The compressed simulator: 4 simulated ranks, blocked and compressed
     # state, the paper's adaptive error ladder (it will stay lossless here
     # because no memory budget is set).
-    config = SimulatorConfig(num_ranks=4)
-    simulator = CompressedSimulator(num_qubits, config)
-    report = simulator.apply_circuit(circuit)
+    compressed = repro.run(
+        circuit,
+        backend="compressed",
+        shots=5,
+        observables=observable,
+        seed=0,
+        return_statevector=True,
+        config=SimulatorConfig(num_ranks=4),
+    )
 
-    print(f"compressed state size      : {simulator.state.compressed_bytes() / 2**20:.3f} MiB")
-    print(f"compression ratio          : {simulator.state.compression_ratio():.1f}x")
-    fidelity = state_fidelity(simulator.statevector(), dense.statevector())
+    print(f"compressed state size      : {compressed.metadata['compressed_bytes'] / 2**20:.3f} MiB")
+    print(f"compression ratio          : {compressed.metadata['compression_ratio']:.1f}x")
+    fidelity = state_fidelity(compressed.statevector, dense.statevector)
     print(f"fidelity vs dense          : {fidelity:.12f}")
-    print(f"fidelity lower bound       : {report.fidelity_lower_bound:.12f}")
+    print(f"fidelity lower bound       : {compressed.report['fidelity_lower_bound']:.12f}")
+    print(f"<Z0> dense vs compressed   : {dense.expectation('Z0'):+.6f} / "
+          f"{compressed.expectation('Z0'):+.6f}")
     print()
-    print("time breakdown (Table 2 style)")
-    print(report.summary())
+    print("time breakdown (Table 2 style, from result.report)")
+    for bucket in ("compression", "decompression", "communication", "computation"):
+        print(f"  {bucket:<14}: {100 * compressed.report[f'{bucket}_fraction']:5.1f}%")
 
-    # Sampling works directly on the compressed representation.
-    counts = simulator.sample_counts(5, rng=np.random.default_rng(0))
+    # Sampling works directly on the compressed representation; the same
+    # seed drives both engines' generators.
     print()
-    print("5 samples from the compressed state:", sorted(counts.items()))
+    print("5 samples (compressed):", sorted(compressed.counts.items()))
+    print("5 samples (dense)     :", sorted(dense.counts.items()))
 
 
 if __name__ == "__main__":

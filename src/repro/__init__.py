@@ -8,16 +8,24 @@ Data Compression" (SC 2019).  The package is organised as:
 * :mod:`repro.distributed` — simulated MPI rank / block decomposition,
 * :mod:`repro.compression` — lossless and error-bounded lossy compressors,
 * :mod:`repro.core` — the compressed-state simulator (the paper's contribution),
+* :mod:`repro.backends` — the unified ``run()`` API over pluggable engines,
 * :mod:`repro.applications` — Grover, random-circuit, QAOA, QFT workloads,
 * :mod:`repro.analysis` — memory models, fidelity bounds and reporting.
 
-The most common entry points are re-exported here::
+The one-call entry point is :func:`repro.run`::
 
-    from repro import CompressedSimulator, SimulatorConfig, QuantumCircuit
+    import repro
 
-    circuit = QuantumCircuit(20).h(0).cx(0, 1)
-    simulator = CompressedSimulator(20, SimulatorConfig(num_ranks=4))
-    report = simulator.apply_circuit(circuit)
+    circuit = repro.QuantumCircuit(20).h(0).cx(0, 1)
+    result = repro.run(circuit, backend="compressed", shots=1000, seed=7)
+    print(result.counts, result.report["fidelity_lower_bound"])
+
+Batches, observables and engine selection ride the same call::
+
+    energy = repro.run(
+        qaoa_circuits,                       # ResultSet, one warm simulator
+        observables=repro.PauliObservable("ZZII"),
+    )
 """
 
 from __future__ import annotations
@@ -37,8 +45,21 @@ from .core import (
     save_checkpoint,
 )
 from .statevector import DenseSimulator, simulate_statevector, state_fidelity
+from .backends import (
+    Backend,
+    BackendError,
+    CompressedBackend,
+    DenseBackend,
+    PauliObservable,
+    Result,
+    ResultSet,
+    available_backends,
+    get_backend,
+    register_backend,
+    run,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -56,4 +77,15 @@ __all__ = [
     "ErrorBoundMode",
     "get_compressor",
     "available_compressors",
+    "run",
+    "Backend",
+    "BackendError",
+    "register_backend",
+    "get_backend",
+    "available_backends",
+    "CompressedBackend",
+    "DenseBackend",
+    "PauliObservable",
+    "Result",
+    "ResultSet",
 ]

@@ -10,6 +10,8 @@ from .hadamard import hadamard_layers_circuit, hadamard_scaling_circuit
 from .qaoa import (
     cut_size,
     expected_cut_from_counts,
+    expected_cut_from_zz,
+    maxcut_observable,
     maxcut_value,
     qaoa_maxcut_circuit,
     random_regular_graph,
@@ -29,7 +31,9 @@ __all__ = [
     "random_regular_graph",
     "cut_size",
     "maxcut_value",
+    "maxcut_observable",
     "expected_cut_from_counts",
+    "expected_cut_from_zz",
     "qft_benchmark_circuit",
     "qft_reference_state",
     "hadamard_scaling_circuit",

@@ -21,6 +21,7 @@ from typing import Sequence
 import networkx as nx
 import numpy as np
 
+from ..backends.observables import PauliObservable
 from ..circuits import QuantumCircuit
 
 __all__ = [
@@ -28,7 +29,9 @@ __all__ = [
     "qaoa_maxcut_circuit",
     "cut_size",
     "maxcut_value",
+    "maxcut_observable",
     "expected_cut_from_counts",
+    "expected_cut_from_zz",
 ]
 
 
@@ -99,6 +102,36 @@ def maxcut_value(graph: nx.Graph) -> int:
     for assignment in range(1 << (n - 1)):  # fix node n-1 to side 0 (symmetry)
         best = max(best, cut_size(graph, assignment))
     return best
+
+
+def maxcut_observable(graph: nx.Graph) -> PauliObservable:
+    """``Σ_{(u,v) ∈ E} Z_u Z_v`` — the MAXCUT cost observable.
+
+    The expected cut follows as ``(|E| - <obs>) / 2``
+    (:func:`expected_cut_from_zz`); evaluating it through
+    :meth:`PauliObservable.expectation` on the compressed backend gives the
+    exact QAOA energy directly from the compressed representation, where
+    sampling (:func:`expected_cut_from_counts`) only estimates it.
+    """
+
+    num_qubits = graph.number_of_nodes()
+    if sorted(graph.nodes) != list(range(num_qubits)):
+        raise ValueError("graph nodes must be the integers 0..n-1")
+    if graph.number_of_edges() == 0:
+        raise ValueError("graph has no edges, the cost observable is empty")
+    return PauliObservable.from_terms(
+        [
+            (1.0, "".join("Z" if q in (u, v) else "I" for q in range(num_qubits)))
+            for u, v in graph.edges
+        ],
+        label=f"maxcut_zz[{num_qubits}q,{graph.number_of_edges()}e]",
+    )
+
+
+def expected_cut_from_zz(graph: nx.Graph, zz_expectation: float) -> float:
+    """Expected cut from ``<Σ Z_u Z_v>``: each edge cuts with ``(1 - <ZuZv>)/2``."""
+
+    return (graph.number_of_edges() - zz_expectation) / 2.0
 
 
 def expected_cut_from_counts(graph: nx.Graph, counts: dict[int, int]) -> float:

@@ -1,0 +1,39 @@
+"""Unified backend API: pluggable engines behind one ``run()`` surface.
+
+* :class:`Backend` — the engine ABC; :func:`register_backend` /
+  :func:`get_backend` / :func:`available_backends` manage the registry.
+* :class:`CompressedBackend` / :class:`DenseBackend` — adapters over the two
+  existing simulators (registered as ``"compressed"`` and ``"dense"``).
+* :class:`Result` / :class:`ResultSet` — uniform, JSON-round-trippable run
+  records.
+* :class:`PauliObservable` — weighted Pauli-string observables whose
+  ``expectation()`` is evaluated blockwise on the compressed representation.
+* :func:`run` — the top-level convenience re-exported as ``repro.run``.
+"""
+
+from .base import (
+    Backend,
+    BackendError,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from .compressed import CompressedBackend
+from .dense import DenseBackend
+from .observables import PauliObservable
+from .result import Result, ResultSet
+from .runner import run
+
+__all__ = [
+    "Backend",
+    "BackendError",
+    "register_backend",
+    "get_backend",
+    "available_backends",
+    "CompressedBackend",
+    "DenseBackend",
+    "PauliObservable",
+    "Result",
+    "ResultSet",
+    "run",
+]

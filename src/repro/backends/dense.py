@@ -1,0 +1,60 @@
+"""The dense reference engine behind the unified API.
+
+Adapter over :class:`~repro.statevector.dense.DenseSimulator` (the Intel-QS
+role in the paper).  A dense simulator is one allocation with no warm-up
+cost, so the session is trivial and each circuit gets a fresh instance —
+what matters is that it answers the exact same ``run()`` surface as the
+compressed engine, which is what the differential tests and the Table-2
+comparisons lean on.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..circuits import QuantumCircuit
+from ..statevector.dense import DenseSimulator
+from .base import Backend, register_backend
+from .observables import PauliObservable
+from .result import Result
+
+__all__ = ["DenseBackend"]
+
+
+@register_backend("dense")
+class DenseBackend(Backend):
+    """Compression-free full-state reference simulation."""
+
+    name = "dense"
+
+    def _open_session(self) -> None:
+        return None
+
+    def _execute(
+        self,
+        circuit: QuantumCircuit,
+        *,
+        session: None,
+        shots: int,
+        observables: Sequence[PauliObservable],
+        rng: np.random.Generator,
+        return_statevector: bool,
+    ) -> Result:
+        simulator = DenseSimulator(circuit.num_qubits)
+        simulator.apply_circuit(circuit)
+        counts = simulator.sample_counts(shots, rng) if shots else None
+        expectations = self._evaluate_observables(observables, simulator)
+        statevector = simulator.statevector() if return_statevector else None
+        return Result(
+            backend=self.name,
+            circuit_name=circuit.name,
+            num_qubits=circuit.num_qubits,
+            shots=shots,
+            counts=counts,
+            expectations=expectations,
+            statevector=statevector,
+            report=None,
+            metadata={"memory_bytes": simulator.memory_bytes()},
+        )

@@ -1,0 +1,154 @@
+"""Uniform run results: :class:`Result` and :class:`ResultSet`.
+
+Every backend returns the same record regardless of how the state was
+represented internally, which is what makes the backends swappable: counts
+from sampling, expectation values keyed by observable label, the optional
+dense statevector (small registers, on request), the simulator's report
+(the compressed backend's Table-2 numbers; ``None`` for backends with
+nothing to report) and free-form metadata.  Both types round-trip through
+JSON so results can be archived next to benchmark output.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["Result", "ResultSet"]
+
+
+@dataclass
+class Result:
+    """Outcome of running one circuit on one backend."""
+
+    backend: str
+    circuit_name: str
+    num_qubits: int
+    shots: int = 0
+    #: Basis-state → occurrence map (``None`` when ``shots == 0``).
+    counts: dict[int, int] | None = None
+    #: Observable label → expectation value (``None`` when none requested).
+    expectations: dict[str, float] | None = None
+    #: Dense final state (only when ``return_statevector=True`` was passed).
+    statevector: np.ndarray | None = None
+    #: ``SimulationReport.as_dict()`` for the compressed backend, ``None``
+    #: for backends that produce no report.
+    report: dict | None = None
+    metadata: dict = field(default_factory=dict)
+
+    def expectation(self, label: str) -> float:
+        """The expectation value recorded under *label*."""
+
+        if not self.expectations or label not in self.expectations:
+            raise KeyError(f"no expectation value recorded for {label!r}")
+        return self.expectations[label]
+
+    # -- serialisation -------------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        """JSON-compatible dict (basis states become string keys)."""
+
+        return {
+            "backend": self.backend,
+            "circuit_name": self.circuit_name,
+            "num_qubits": self.num_qubits,
+            "shots": self.shots,
+            "counts": (
+                {str(state): count for state, count in self.counts.items()}
+                if self.counts is not None
+                else None
+            ),
+            "expectations": dict(self.expectations)
+            if self.expectations is not None
+            else None,
+            "statevector": (
+                {
+                    "re": np.real(self.statevector).tolist(),
+                    "im": np.imag(self.statevector).tolist(),
+                }
+                if self.statevector is not None
+                else None
+            ),
+            "report": self.report,
+            "metadata": self.metadata,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Result":
+        statevector = None
+        if data.get("statevector") is not None:
+            packed = data["statevector"]
+            statevector = np.asarray(packed["re"], dtype=np.float64) + 1j * np.asarray(
+                packed["im"], dtype=np.float64
+            )
+        counts = None
+        if data.get("counts") is not None:
+            counts = {int(state): int(count) for state, count in data["counts"].items()}
+        return cls(
+            backend=data["backend"],
+            circuit_name=data["circuit_name"],
+            num_qubits=int(data["num_qubits"]),
+            shots=int(data.get("shots", 0)),
+            counts=counts,
+            expectations=(
+                {k: float(v) for k, v in data["expectations"].items()}
+                if data.get("expectations") is not None
+                else None
+            ),
+            statevector=statevector,
+            report=data.get("report"),
+            metadata=dict(data.get("metadata", {})),
+        )
+
+    def to_json(self, **dumps_kwargs) -> str:
+        return json.dumps(self.as_dict(), **dumps_kwargs)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "Result":
+        return cls.from_dict(json.loads(payload))
+
+
+class ResultSet(Sequence):
+    """Ordered collection of :class:`Result` from one batched run."""
+
+    def __init__(self, results: Sequence[Result]) -> None:
+        self._results = tuple(results)
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __iter__(self) -> Iterator[Result]:
+        return iter(self._results)
+
+    def __getitem__(self, index):
+        picked = self._results[index]
+        if isinstance(index, slice):
+            return ResultSet(picked)
+        return picked
+
+    @property
+    def results(self) -> tuple[Result, ...]:
+        return self._results
+
+    def expectations(self, label: str) -> list[float]:
+        """The expectation recorded under *label* for every result, in order."""
+
+        return [result.expectation(label) for result in self._results]
+
+    def as_dict(self) -> dict:
+        return {"results": [result.as_dict() for result in self._results]}
+
+    def to_json(self, **dumps_kwargs) -> str:
+        return json.dumps(self.as_dict(), **dumps_kwargs)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "ResultSet":
+        data = json.loads(payload)
+        return cls([Result.from_dict(entry) for entry in data["results"]])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        backends = sorted({result.backend for result in self._results})
+        return f"ResultSet({len(self._results)} results, backends={backends})"

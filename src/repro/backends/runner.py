@@ -1,0 +1,58 @@
+"""``repro.run()`` — the one-call entry point over the backend registry.
+
+::
+
+    import repro
+
+    result = repro.run(circuit, shots=1000, seed=7)               # compressed
+    batch = repro.run(circuits, backend="dense", observables=obs) # reference
+
+Everything else — batching, per-circuit seeding, observables, result
+packaging — is documented on :meth:`repro.backends.Backend.run`, which this
+function forwards to after resolving *backend* through the registry.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..circuits import QuantumCircuit
+from .base import Backend, get_backend
+from .observables import PauliObservable
+from .result import Result, ResultSet
+
+__all__ = ["run"]
+
+
+def run(
+    circuits: QuantumCircuit | Iterable[QuantumCircuit],
+    backend: str | Backend = "compressed",
+    *,
+    shots: int = 0,
+    observables: PauliObservable | Iterable[PauliObservable] | None = None,
+    seed: int | None = None,
+    return_statevector: bool = False,
+    **options,
+) -> Result | ResultSet:
+    """Run circuit(s) on a named (or given) backend; see :meth:`Backend.run`.
+
+    *backend* is a registry name (``"compressed"``, ``"dense"``, or anything
+    registered via :func:`repro.backends.register_backend`) or an already
+    constructed :class:`Backend` instance.  A single circuit returns a
+    :class:`Result`; an iterable returns a :class:`ResultSet` in input order.
+    """
+
+    engine = get_backend(backend) if isinstance(backend, str) else backend
+    if not isinstance(engine, Backend):
+        raise TypeError(
+            f"backend must be a registry name or Backend instance, got "
+            f"{type(backend).__name__}"
+        )
+    return engine.run(
+        circuits,
+        shots=shots,
+        observables=observables,
+        seed=seed,
+        return_statevector=return_statevector,
+        **options,
+    )

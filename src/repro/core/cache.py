@@ -159,6 +159,17 @@ class BlockCache:
             self._entries.clear()
             self.stats.disabled = False
 
+    def reset(self) -> None:
+        """Drop all lines AND zero the statistics (fresh-simulator state).
+
+        Used by the batched-run reset so each circuit sees the same cache
+        behaviour — including the miss-disable rule — as a fresh simulator.
+        """
+
+        with self._mutex:
+            self._entries.clear()
+            self.stats = CacheStats()
+
     def __len__(self) -> int:
         with self._mutex:
             return len(self._entries)

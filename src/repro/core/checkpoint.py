@@ -47,11 +47,16 @@ def save_checkpoint(simulator: CompressedSimulator, path: str | Path) -> int:
         "block_amplitudes": partition.block_amplitudes,
         "gate_count": simulator.gate_count,
         "current_bound": simulator.controller.current_bound,
-        "fidelity_gate_bounds": list(simulator.fidelity_tracker.gate_bounds),
+        "fidelity_gate_bounds": (
+            list(simulator.fidelity_tracker.gate_bounds)
+            if simulator.fidelity_tracker is not None
+            else []
+        ),
         "lossy_compressor": config.lossy_compressor,
         "lossless_backend": config.lossless_backend,
         "error_levels": list(config.error_levels),
         "memory_budget_bytes": config.memory_budget_bytes,
+        "track_fidelity_bound": config.track_fidelity_bound,
     }
     blocks = []
     for (rank, block), entry in simulator.state.iter_blocks():
@@ -102,6 +107,8 @@ def load_checkpoint(
             error_levels=tuple(meta["error_levels"]),
             lossy_compressor=meta["lossy_compressor"],
             lossless_backend=meta["lossless_backend"],
+            # Absent in pre-1.1 checkpoints, which always tracked.
+            track_fidelity_bound=meta.get("track_fidelity_bound", True),
         )
     else:
         if config.num_ranks != meta["num_ranks"]:
@@ -133,8 +140,9 @@ def load_checkpoint(
 
     # Restore progress counters.
     simulator._gate_index = int(meta["gate_count"])  # noqa: SLF001 - deliberate restore
-    for bound in meta["fidelity_gate_bounds"]:
-        simulator.fidelity_tracker.record_gate(float(bound))
+    if simulator.fidelity_tracker is not None:
+        for bound in meta["fidelity_gate_bounds"]:
+            simulator.fidelity_tracker.record_gate(float(bound))
     if meta["current_bound"]:
         simulator.controller.force_level(float(meta["current_bound"]))
     return simulator

@@ -79,6 +79,20 @@ class CompressedStateVector:
                     ),
                 )
 
+    def reset(self, compressor: Compressor, initial_basis_state: int = 0) -> None:
+        """Re-initialise every block to ``|initial_basis_state>`` in place.
+
+        The partition geometry and block table survive, so holders of a
+        reference (the simulator's executor in particular) keep working —
+        this is the batched-run reset path.
+        """
+
+        if not 0 <= initial_basis_state < self._partition.total_amplitudes:
+            raise ValueError(
+                f"initial basis state {initial_basis_state} out of range"
+            )
+        self._initialise(compressor, initial_basis_state)
+
     # -- structural accessors ---------------------------------------------------------
 
     @property

@@ -94,6 +94,16 @@ class TaskExecutor:
     def num_workers(self) -> int:
         return self._num_workers
 
+    def rebind_report(self, report: SimulationReport) -> None:
+        """Point the executor at a fresh report accumulator.
+
+        Called by :meth:`CompressedSimulator.reset` between batched circuits
+        so each circuit gets its own report while the executor (and its
+        worker pool) stays warm.
+        """
+
+        self._report = report
+
     def close(self) -> None:
         """Shut down the worker pool (idempotent; sequential mode is a no-op)."""
 

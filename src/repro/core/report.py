@@ -71,7 +71,9 @@ class SimulationReport:
     #: Largest total footprint (compressed + scratch) observed, Eq. 8.
     peak_footprint_bytes: int = 0
 
-    fidelity_lower_bound: float = 1.0
+    #: ``Π(1 - δ_i)`` over the gates executed, or ``None`` when
+    #: ``SimulatorConfig.track_fidelity_bound`` is off.
+    fidelity_lower_bound: float | None = 1.0
     final_error_bound: float = 0.0
     escalations: int = 0
 
@@ -195,7 +197,12 @@ class SimulationReport:
             f"{self.decompress_calls} decompress over {self.tasks_executed} tasks",
             f"min compression ratio: {self.min_compression_ratio:.2f}",
             f"peak footprint       : {self.peak_footprint_bytes / 2**20:.2f} MiB",
-            f"fidelity lower bound : {self.fidelity_lower_bound:.6f}",
+            "fidelity lower bound : "
+            + (
+                f"{self.fidelity_lower_bound:.6f}"
+                if self.fidelity_lower_bound is not None
+                else "not tracked"
+            ),
             f"final error bound    : {self.final_error_bound:g}",
             f"escalations          : {self.escalations}",
         ]

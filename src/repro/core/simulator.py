@@ -26,7 +26,9 @@ state vector stays compressed.  Per gate (Figure 2):
 
 from __future__ import annotations
 
-from typing import Iterable
+import warnings
+from dataclasses import replace
+from typing import Iterable, Iterator
 
 import numpy as np
 
@@ -37,7 +39,7 @@ from ..distributed.comm import SimulatedCommunicator
 from ..distributed.exchange import plan_gate
 from ..distributed.partition import Partition, QubitSegment
 from .adaptive import AdaptiveErrorController
-from .blocks import ScratchPool
+from .blocks import CompressedBlock, ScratchPool
 from .cache import BlockCache
 from .compressed_state import CompressedStateVector
 from .config import SimulatorConfig
@@ -101,7 +103,9 @@ class CompressedSimulator:
             if self._config.use_block_cache
             else None
         )
-        self._fidelity = FidelityTracker()
+        self._fidelity = (
+            FidelityTracker() if self._config.track_fidelity_bound else None
+        )
         self._report = SimulationReport(
             num_qubits=num_qubits,
             num_ranks=self._config.num_ranks,
@@ -125,7 +129,7 @@ class CompressedSimulator:
 
         self._state = CompressedStateVector(
             partition=self._partition,
-            compressor=lossless if self._config.start_lossless else self._controller.compressor(),
+            compressor=self._initial_compressor(),
             comm=self._comm,
             initial_basis_state=initial_basis_state,
         )
@@ -171,7 +175,10 @@ class CompressedSimulator:
         return self._controller
 
     @property
-    def fidelity_tracker(self) -> FidelityTracker:
+    def fidelity_tracker(self) -> FidelityTracker | None:
+        """The per-gate fidelity accountant, or ``None`` when
+        ``config.track_fidelity_bound`` is off."""
+
         return self._fidelity
 
     @property
@@ -199,6 +206,73 @@ class CompressedSimulator:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    def _initial_compressor(self) -> Compressor:
+        return (
+            self._controller.lossless_compressor()
+            if self._config.start_lossless
+            else self._controller.compressor()
+        )
+
+    def reset(self, initial_basis_state: int = 0) -> None:
+        """Reset to ``|initial_basis_state>`` in place, keeping workers warm.
+
+        Behaviour after a reset is indistinguishable from a freshly
+        constructed simulator with the same config: the adaptive controller,
+        fidelity tracker, block cache, communicator statistics and the report
+        all start over.  What survives is the expensive machinery — the
+        executor (and its thread pool), the scratch pool and the decompressor
+        instances — which is what makes batched runs over same-width circuits
+        cheap (:class:`repro.backends.CompressedBackend` calls this between
+        circuits).
+        """
+
+        self._controller = AdaptiveErrorController(self._config)
+        self._state.reset(self._initial_compressor(), initial_basis_state)
+        self._comm.reset()
+        if self._cache is not None:
+            self._cache.reset()
+        self._fidelity = (
+            FidelityTracker() if self._config.track_fidelity_bound else None
+        )
+        self._report = SimulationReport(
+            num_qubits=self._num_qubits,
+            num_ranks=self._config.num_ranks,
+            block_amplitudes=self._partition.block_amplitudes,
+        )
+        self._executor.rebind_report(self._report)
+        self._gate_index = 0
+
+    def fork(self) -> "CompressedSimulator":
+        """Snapshot this simulator's state into an independent copy.
+
+        The copy shares nothing mutable with the original: the compressed
+        blobs are immutable ``bytes``, so copying the state is just
+        rebuilding the block table (construction itself compresses one
+        reusable zero block).  The fork always runs single-worker — it
+        exists for short side computations, so it never pays for a thread
+        pool or a per-worker scratch pool — and its adaptive controller is
+        forced to the original's current error level so further gates
+        compress with the same bound.  Used by
+        :meth:`repro.backends.PauliObservable.expectation` to evaluate X/Y
+        terms via basis-change gates without disturbing the live state.
+        """
+
+        config = self._config
+        if config.num_workers != 1:
+            config = replace(config, num_workers=1)
+        clone = CompressedSimulator(self._num_qubits, config)
+        if self._controller.current_bound:
+            clone._controller.force_level(self._controller.current_bound)
+        for (rank, block), entry in self._state.iter_blocks():
+            clone._state.store.put(
+                rank,
+                block,
+                CompressedBlock(
+                    blob=entry.blob, compressor=entry.compressor, bound=entry.bound
+                ),
+            )
+        return clone
+
     # -- gate execution -----------------------------------------------------------------
 
     def apply_circuit(self, circuit: QuantumCircuit | Iterable[Gate]) -> SimulationReport:
@@ -220,7 +294,22 @@ class CompressedSimulator:
             self.apply_gate(gate)
         return self.report()
 
-    run = apply_circuit
+    def run(self, circuit: QuantumCircuit | Iterable[Gate]) -> SimulationReport:
+        """Deprecated alias of :meth:`apply_circuit`.
+
+        .. deprecated:: 1.1
+            Use :meth:`apply_circuit`, or the unified entry points
+            :func:`repro.run` / :meth:`repro.backends.Backend.run` which add
+            shots, observables and batching on top.
+        """
+
+        warnings.warn(
+            "CompressedSimulator.run() is deprecated; use apply_circuit() or "
+            "the unified repro.run() / Backend.run() API",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.apply_circuit(circuit)
 
     def apply_gate(self, gate: Gate) -> None:
         """Apply a single gate to the compressed state."""
@@ -238,7 +327,8 @@ class CompressedSimulator:
 
         self._gate_index += 1
         self._report.gates_executed = self._gate_index
-        self._fidelity.record_gate(compressor.bound)
+        if self._fidelity is not None:
+            self._fidelity.record_gate(compressor.bound)
 
         footprint = self._state.footprint_bytes()
         self._report.observe_footprint(footprint)
@@ -270,7 +360,9 @@ class CompressedSimulator:
         if self._cache is not None:
             self._report.cache_hits = self._cache.stats.hits
             self._report.cache_misses = self._cache.stats.misses
-        self._report.fidelity_lower_bound = self._fidelity.lower_bound
+        self._report.fidelity_lower_bound = (
+            self._fidelity.lower_bound if self._fidelity is not None else None
+        )
         self._report.final_error_bound = self._controller.current_bound
         self._report.escalations = len(self._controller.events)
 
@@ -303,10 +395,24 @@ class CompressedSimulator:
         """Total probability mass per (rank, block), flattened in rank-major order."""
 
         totals = np.zeros(self._partition.total_blocks, dtype=np.float64)
-        for index, ((rank, block), _entry) in enumerate(self._state.iter_blocks()):
-            probs = self._state.probabilities_of_block(rank, block, self._decompressors)
+        for index, (_base, probs) in enumerate(self.iter_block_probabilities()):
             totals[index] = probs.sum()
         return totals
+
+    def iter_block_probabilities(self) -> Iterator[tuple[int, np.ndarray]]:
+        """Yield ``(global_base_index, |a|^2 per offset)`` block by block.
+
+        This is the observable-evaluation primitive: one block is
+        decompressed at a time, in rank-major order, so diagonal Pauli
+        expectations can be accumulated without ever densifying the state
+        (:meth:`repro.backends.PauliObservable.expectation` builds on it).
+        """
+
+        for (rank, block), _entry in self._state.iter_blocks():
+            probs = self._state.probabilities_of_block(
+                rank, block, self._decompressors
+            )
+            yield self._partition.global_index(rank, block, 0), probs
 
     def sample_counts(
         self, shots: int, rng: np.random.Generator | None = None
@@ -352,9 +458,12 @@ class CompressedSimulator:
             n_hits = int(np.sum(chosen_blocks == block_index))
             offsets = rng.choice(probs.size, size=n_hits, p=probs / mass)
             base = partition.global_index(rank, block, 0)
-            for offset in offsets:
+            unique_offsets, offset_counts = np.unique(offsets, return_counts=True)
+            for offset, hits in zip(
+                unique_offsets.tolist(), offset_counts.tolist()
+            ):
                 key = base + int(offset)
-                counts[key] = counts.get(key, 0) + 1
+                counts[key] = counts.get(key, 0) + int(hits)
         return counts
 
     def fidelity_vs(self, reference_state: np.ndarray) -> float:
