@@ -38,7 +38,7 @@ import numpy as np
 from repro.analysis import format_table
 from repro.circuits import QuantumCircuit
 from repro.compression import ErrorBoundMode, SZCompressor, get_compressor, huffman, quantization
-from repro.core import CompressedSimulator, SimulatorConfig
+from repro.core import CompressedSimulator, SimulatorConfig, effective_cpu_count
 
 QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -60,6 +60,9 @@ def _merge_json(section: str, payload) -> None:
         "quick": QUICK,
         "huffman_symbols": HUFFMAN_SYMBOLS,
         "block_sizes": list(BLOCK_SIZES),
+        # Effective CPUs (affinity-aware), not raw os.cpu_count(): container
+        # and cpuset runs must not overstate the available parallelism.
+        "available_cpus": effective_cpu_count(),
     }
     JSON_PATH.write_text(json.dumps(data, indent=2))
 
@@ -302,7 +305,7 @@ def test_task_executor_thread_scaling(emit):
         }
         for workers, (seconds, _) in results.items()
     ]
-    available_cpus = len(os.sched_getaffinity(0))
+    available_cpus = effective_cpu_count()
     _merge_json(
         "thread_scaling",
         {

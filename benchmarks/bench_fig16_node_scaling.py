@@ -9,15 +9,19 @@ communication volume per rank stays roughly constant — giving sub-ideal
 speedup exactly as the paper observes.  The modelled critical-path time uses
 the measured single-rank per-block cost plus the simulated communicator's
 bandwidth model.
+
+The engine is built through the backend registry — ``get_backend`` with the
+session's ``comm=`` option carrying the custom bandwidth-modelled
+communicator — so even the one bench with a hand-tuned interconnect runs the
+same code path as every other ``repro.run()`` workload.
 """
 
 from __future__ import annotations
 
-import time
-
 from repro.analysis import format_table
 from repro.applications import hadamard_scaling_circuit
-from repro.core import CompressedSimulator, SimulatorConfig
+from repro.backends import get_backend
+from repro.core import SimulatorConfig
 from repro.distributed import SimulatedCommunicator
 
 NUM_QUBITS = 16
@@ -35,22 +39,22 @@ def _modelled_run(num_ranks: int) -> dict:
         block_amplitudes=(1 << NUM_QUBITS) // num_ranks // 4,
         use_block_cache=False,
     )
-    simulator = CompressedSimulator(NUM_QUBITS, config, comm=comm)
-    start = time.perf_counter()
-    report = simulator.apply_circuit(hadamard_scaling_circuit(NUM_QUBITS))
-    wall = time.perf_counter() - start
+    result = get_backend("compressed").run(
+        hadamard_scaling_circuit(NUM_QUBITS), config=config, comm=comm
+    )
+    report = result.report
     # Critical path per rank: the measured sequential work divided across
     # ranks (perfectly parallel part) plus the modelled communication time.
     compute = (
-        report.compression_seconds
-        + report.decompression_seconds
-        + report.computation_seconds
+        report["compression_seconds"]
+        + report["decompression_seconds"]
+        + report["computation_seconds"]
     ) / num_ranks
     return {
         "ranks": num_ranks,
-        "sequential_seconds": wall,
+        "sequential_seconds": result.metadata["wall_seconds"],
         "modelled_parallel_seconds": compute + comm.modelled_seconds,
-        "communication_bytes": report.communication_bytes,
+        "communication_bytes": report["communication_bytes"],
     }
 
 

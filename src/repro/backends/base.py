@@ -111,6 +111,8 @@ class Backend(ABC):
         observables: PauliObservable | Iterable[PauliObservable] | None = None,
         seed: int | None = None,
         return_statevector: bool = False,
+        parallel: str | None = None,
+        max_parallel: int | None = None,
         **options,
     ) -> Result | ResultSet:
         """Execute one circuit (→ :class:`Result`) or a batch (→ :class:`ResultSet`).
@@ -137,9 +139,20 @@ class Backend(ABC):
         return_statevector:
             Materialise the dense final state into each result (small
             registers only).
+        parallel:
+            ``None`` (default) executes the batch sequentially in one warm
+            session.  ``"process"`` fans a multi-circuit batch out across a
+            pool of worker processes (:mod:`repro.backends.parallel`), each
+            holding its own warm session; the per-circuit seed ladder is
+            identical, so every result is bit-identical to sequential
+            execution (only measured wall-clock metadata differs).  Requires
+            the backend to be registered under its :attr:`name`.
+        max_parallel:
+            Worker-process cap for ``parallel="process"`` (default: the
+            batch size clamped to the effective CPU count).
         options:
             Engine-specific session options (the compressed backend accepts
-            ``config=SimulatorConfig(...)``).
+            ``config=SimulatorConfig(...)`` and ``comm=...``).
         """
 
         single = isinstance(circuits, QuantumCircuit)
@@ -163,7 +176,31 @@ class Backend(ABC):
                         f"{circuit.name!r} has {circuit.num_qubits}"
                     )
 
+        if parallel not in (None, "none", "process"):
+            raise ValueError(
+                f"parallel must be None, 'none' or 'process', got {parallel!r}"
+            )
+        if max_parallel is not None and max_parallel < 1:
+            raise ValueError(f"max_parallel must be >= 1, got {max_parallel}")
+
         seed_sequences = np.random.SeedSequence(seed).spawn(len(batch))
+
+        if parallel == "process" and len(batch) > 1:
+            from .parallel import run_batch_in_processes
+
+            results = run_batch_in_processes(
+                self,
+                batch,
+                shots=shots,
+                observables=observable_list,
+                seed=seed,
+                seed_sequences=seed_sequences,
+                return_statevector=return_statevector,
+                options=options,
+                max_parallel=max_parallel,
+            )
+            return results[0] if single else ResultSet(results)
+
         results: list[Result] = []
         session = self._open_session(**options)
         try:

@@ -19,6 +19,7 @@ import numpy as np
 from ..circuits import QuantumCircuit
 from ..core.config import SimulatorConfig
 from ..core.simulator import CompressedSimulator
+from ..distributed.comm import SimulatedCommunicator
 from .base import Backend, register_backend
 from .observables import PauliObservable
 from .result import Result
@@ -28,15 +29,23 @@ __all__ = ["CompressedBackend"]
 
 @dataclass
 class _CompressedSession:
-    """Per-batch state: the config and the warm simulator per width."""
+    """Per-batch state: the config and the warm simulator per width.
+
+    ``comm`` lets benches with a modelled interconnect (fig16) inject their
+    own :class:`~repro.distributed.comm.SimulatedCommunicator` through the
+    registry instead of hand-building simulators; it is shared by every
+    simulator of the session and reset between circuits like the rest of
+    the per-circuit state.
+    """
 
     config: SimulatorConfig
+    comm: SimulatedCommunicator | None = None
     simulators: dict[int, CompressedSimulator] = field(default_factory=dict)
 
     def simulator_for(self, num_qubits: int) -> CompressedSimulator:
         simulator = self.simulators.get(num_qubits)
         if simulator is None:
-            simulator = CompressedSimulator(num_qubits, self.config)
+            simulator = CompressedSimulator(num_qubits, self.config, comm=self.comm)
             self.simulators[num_qubits] = simulator
         else:
             simulator.reset()
@@ -54,8 +63,12 @@ class CompressedBackend(Backend):
 
     name = "compressed"
 
-    def _open_session(self, config: SimulatorConfig | None = None) -> _CompressedSession:
-        return _CompressedSession(config=config or SimulatorConfig())
+    def _open_session(
+        self,
+        config: SimulatorConfig | None = None,
+        comm: SimulatedCommunicator | None = None,
+    ) -> _CompressedSession:
+        return _CompressedSession(config=config or SimulatorConfig(), comm=comm)
 
     def _close_session(self, session: _CompressedSession) -> None:
         session.close()

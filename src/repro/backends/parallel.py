@@ -1,0 +1,151 @@
+"""Process fan-out for batched ``repro.run()`` jobs.
+
+A batch of circuits is embarrassingly parallel — each circuit owns its rng,
+its report and its final state — so ``repro.run(..., parallel="process")``
+distributes the batch over a :class:`~repro.core.procpool.ProcessPool` of
+warm workers.  Every worker opens one backend session at initialisation and
+keeps it for its whole life, which preserves the batching contract of the
+sequential path: one warm simulator per register width, reset between
+circuits (:meth:`CompressedSimulator.reset`), executors and scratch pools
+surviving across circuits.
+
+Determinism is inherited, not re-derived: the parent spawns the exact same
+per-circuit ``SeedSequence`` ladder as the sequential runner
+(:meth:`repro.backends.Backend.run`) and ships sequence *i* with circuit
+*i*, so every circuit consumes an identical rng stream wherever it runs.
+Counts, expectations, statevectors and report counters are bit-identical to
+sequential execution; only measured wall-clock metadata differs.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..circuits import QuantumCircuit
+from .result import Result
+
+__all__ = ["run_batch_in_processes"]
+
+
+class _CircuitRunner:
+    """Warm per-process state: one backend engine plus one open session."""
+
+    def __init__(self, backend_name: str, options: dict, master_seed) -> None:
+        from .base import get_backend
+
+        self._engine = get_backend(backend_name)
+        self._session = self._engine._open_session(**options)
+        self._seed = master_seed
+
+    def handle(self, message: tuple) -> tuple:
+        kind = message[0]
+        if kind != "circuit":
+            raise ValueError(f"unknown circuit-fanout message {kind!r}")
+        (
+            _,
+            index,
+            circuit,
+            shots,
+            observables,
+            seed_sequence,
+            return_statevector,
+            _ticket,
+            _frames,
+        ) = message
+        started = time.perf_counter()
+        result = self._engine._execute(
+            circuit,
+            session=self._session,
+            shots=shots,
+            observables=observables,
+            rng=np.random.default_rng(seed_sequence),
+            return_statevector=return_statevector,
+        )
+        # Mirror the sequential runner's metadata stamps exactly.
+        result.metadata.setdefault("wall_seconds", time.perf_counter() - started)
+        result.metadata.setdefault("seed", self._seed)
+        return ("ok", index, result)
+
+    def close(self) -> None:
+        self._engine._close_session(self._session)
+
+
+def run_batch_in_processes(
+    engine,
+    batch: list[QuantumCircuit],
+    *,
+    shots: int,
+    observables: tuple,
+    seed,
+    seed_sequences: list,
+    return_statevector: bool,
+    options: dict,
+    max_parallel: int | None,
+) -> list[Result]:
+    """Execute *batch* across worker processes; results in input order.
+
+    *engine* must be registered under its :attr:`Backend.name` so each
+    worker can rebuild it from the registry — a process cannot inherit a
+    live engine instance, only its name and session options.
+    """
+
+    from ..core.procpool import ProcessPool, effective_cpu_count, raise_worker_error
+    from .base import BackendError, _REGISTRY
+
+    if not engine.name or engine.name not in _REGISTRY:
+        raise BackendError(
+            f"parallel='process' needs a registry-constructible backend; "
+            f"{type(engine).__name__} is not registered under "
+            f"{engine.name!r} (register it with @register_backend)"
+        )
+    if options.get("comm") is not None:
+        # Each worker would mutate its own unpickled copy, silently leaving
+        # the caller's communicator statistics at zero — refuse rather than
+        # mis-account (the fig16-style comm= option is a sequential feature).
+        raise BackendError(
+            "parallel='process' cannot share a caller-supplied communicator "
+            "across worker processes; drop comm= or run the batch sequentially"
+        )
+
+    cap = effective_cpu_count() if max_parallel is None else max_parallel
+    num_workers = max(1, min(len(batch), cap))
+    results: list[Result | None] = [None] * len(batch)
+    with ProcessPool(
+        num_workers, _CircuitRunner, init_args=(engine.name, options, seed)
+    ) as pool:
+        # Round-robin assignment keeps each worker's per-width simulators
+        # warm; the outstanding cap (pool slots) bounds pipe backlog so a
+        # worker busy computing never deadlocks the dispatch loop.
+        queues: dict[int, list[tuple]] = {}
+        for index, (circuit, sequence) in enumerate(zip(batch, seed_sequences)):
+            message = (
+                "circuit",
+                index,
+                circuit,
+                shots,
+                observables,
+                sequence,
+                return_statevector,
+            )
+            queues.setdefault(index % num_workers, []).append(message)
+        outstanding = 0
+        while queues or outstanding:
+            for worker_id in list(queues):
+                pending = queues[worker_id]
+                while pending and pool.can_submit(worker_id):
+                    pool.submit(worker_id, pending.pop(0))
+                    outstanding += 1
+                if not pending:
+                    del queues[worker_id]
+            if outstanding:
+                worker_id, reply = pool.recv_any()
+                outstanding -= 1
+                if reply[0] == "err":
+                    raise_worker_error(
+                        reply, f"batched circuit failed in pool worker {worker_id}"
+                    )
+                _, index, result = reply
+                results[index] = result
+    return results  # type: ignore[return-value]

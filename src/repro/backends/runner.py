@@ -32,6 +32,8 @@ def run(
     observables: PauliObservable | Iterable[PauliObservable] | None = None,
     seed: int | None = None,
     return_statevector: bool = False,
+    parallel: str | None = None,
+    max_parallel: int | None = None,
     **options,
 ) -> Result | ResultSet:
     """Run circuit(s) on a named (or given) backend; see :meth:`Backend.run`.
@@ -40,6 +42,11 @@ def run(
     registered via :func:`repro.backends.register_backend`) or an already
     constructed :class:`Backend` instance.  A single circuit returns a
     :class:`Result`; an iterable returns a :class:`ResultSet` in input order.
+
+    ``parallel="process"`` fans a multi-circuit batch out across worker
+    processes, one warm backend session (and therefore one warm simulator
+    per register width) per worker; results are bit-identical to the
+    sequential path — see :mod:`repro.backends.parallel`.
     """
 
     engine = get_backend(backend) if isinstance(backend, str) else backend
@@ -54,5 +61,7 @@ def run(
         observables=observables,
         seed=seed,
         return_statevector=return_statevector,
+        parallel=parallel,
+        max_parallel=max_parallel,
         **options,
     )

@@ -77,6 +77,18 @@ class FPZIPLikeCompressor(Compressor):
         self._backend = backend
         self._level = int(level)
 
+    def __getstate__(self) -> dict:
+        # Constructor arguments only (cheap process-pool pickling); mode and
+        # bound are derived from the precision on unpickle.
+        return {
+            "precision": self._precision,
+            "backend": self._backend,
+            "level": self._level,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(**state)
+
     @classmethod
     def from_relative_bound(cls, bound: float, **kwargs) -> "FPZIPLikeCompressor":
         """Build the compressor from a paper-style relative error level.

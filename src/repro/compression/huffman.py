@@ -263,6 +263,14 @@ class HuffmanCodec:
             raise CompressorError("window_bits must be in [1, 16]")
         self._window_bits = window_bits
 
+    def __getstate__(self) -> dict:
+        # Constructor arguments only (cheap process-pool pickling); decode
+        # tables are always built per call, never held on the instance.
+        return {"window_bits": self._window_bits}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(**state)
+
     def encode(self, symbols: np.ndarray) -> bytes:
         """Encode a 1-D integer array into a self-describing byte string."""
 

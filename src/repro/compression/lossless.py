@@ -94,6 +94,15 @@ class LosslessCompressor(Compressor):
     def backend(self) -> str:
         return self._backend
 
+    def __getstate__(self) -> dict:
+        # Constructor arguments only: pickling a codec must stay cheap and
+        # stable so process-pool workers can receive instances per task
+        # (see repro.core.procpool); derived state is rebuilt on unpickle.
+        return {"backend": self._backend, "level": self._level}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(**state)
+
     def compress(self, data: np.ndarray) -> bytes:
         array = self._as_float64(data)
         payload = lossless_compress_bytes(array.tobytes(), self._backend, self._level)

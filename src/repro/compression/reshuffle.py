@@ -64,6 +64,18 @@ class ReshuffleCompressor(Compressor):
         super().__init__(ErrorBoundMode.RELATIVE, bound)
         self._inner = XorBitplaneCompressor(bound=bound, backend=backend, level=level)
 
+    def __getstate__(self) -> dict:
+        # Constructor arguments only (cheap process-pool pickling); the
+        # inner Solution C instance is rebuilt on unpickle.
+        return {
+            "bound": self.bound,
+            "backend": self._inner._backend,
+            "level": self._inner._level,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(**state)
+
     def compress(self, data: np.ndarray) -> bytes:
         array = self._as_float64(data)
         shuffled = _deinterleave(array)

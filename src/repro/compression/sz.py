@@ -190,6 +190,19 @@ class SZCompressor(Compressor):
     def max_bins(self) -> int:
         return self._max_bins
 
+    def __getstate__(self) -> dict:
+        # Constructor arguments only (cheap process-pool pickling).
+        return {
+            "bound": self.bound,
+            "mode": self.mode,
+            "max_bins": self._max_bins,
+            "backend": self._backend,
+            "level": self._level,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(**state)
+
     # -- absolute mode ------------------------------------------------------------
 
     def _compress_abs(self, array: np.ndarray) -> bytes:

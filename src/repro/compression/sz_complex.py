@@ -62,6 +62,20 @@ class SZComplexCompressor(Compressor):
     def max_bins(self) -> int:
         return self._inner.max_bins
 
+    def __getstate__(self) -> dict:
+        # Constructor arguments only (cheap process-pool pickling); the
+        # inner per-component SZ instance is rebuilt on unpickle.
+        return {
+            "bound": self.bound,
+            "mode": self.mode,
+            "max_bins": self._inner.max_bins,
+            "backend": self._inner._backend,
+            "level": self._inner._level,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(**state)
+
     def compress(self, data: np.ndarray) -> bytes:
         array = self._as_float64(data)
         # Treat the stream as interleaved (real, imaginary) pairs; a trailing

@@ -74,6 +74,14 @@ class XorBitplaneCompressor(Compressor):
 
         return self._keep_bytes
 
+    def __getstate__(self) -> dict:
+        # Constructor arguments only (cheap process-pool pickling); the
+        # derived truncation width is recomputed on unpickle.
+        return {"bound": self.bound, "backend": self._backend, "level": self._level}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(**state)
+
     # -- compression ---------------------------------------------------------------
 
     def compress(self, data: np.ndarray) -> bytes:

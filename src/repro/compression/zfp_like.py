@@ -91,6 +91,18 @@ class ZFPLikeCompressor(Compressor):
         self._backend = backend
         self._level = int(level)
 
+    def __getstate__(self) -> dict:
+        # Constructor arguments only (cheap process-pool pickling).
+        return {
+            "bound": self.bound,
+            "mode": self.mode,
+            "backend": self._backend,
+            "level": self._level,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(**state)
+
     # -- fixed-point / embedded coding machinery ---------------------------------------
 
     def _encode_abs(self, array: np.ndarray, bound: float) -> bytes:

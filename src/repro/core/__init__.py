@@ -6,7 +6,8 @@ from .cache import BlockCache, CacheStats
 from .checkpoint import CheckpointError, load_checkpoint, save_checkpoint
 from .compressed_state import CompressedStateVector
 from .config import PAPER_BLOCK_AMPLITUDES, SimulatorConfig
-from .executor import TaskExecutor
+from .executor import ProcessTaskExecutor, TaskExecutor
+from .procpool import ProcessPool, WorkerCrashedError, effective_cpu_count
 from .fidelity import FidelityTracker, fidelity_curve, fidelity_lower_bound
 from .report import SimulationReport, Timer
 from .simulator import CompressedSimulator
@@ -14,6 +15,10 @@ from .simulator import CompressedSimulator
 __all__ = [
     "CompressedSimulator",
     "TaskExecutor",
+    "ProcessTaskExecutor",
+    "ProcessPool",
+    "WorkerCrashedError",
+    "effective_cpu_count",
     "CompressedStateVector",
     "SimulatorConfig",
     "PAPER_BLOCK_AMPLITUDES",

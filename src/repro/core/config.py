@@ -61,14 +61,28 @@ class SimulatorConfig:
         Run the gate-fusion pass (:mod:`repro.circuits.fusion`) before
         execution: consecutive same-target/same-control gates collapse into
         one 2x2 unitary, paying a single decompress/recompress round trip per
-        block for the whole run.  Off by default (the seed behaviour).
+        block for the whole run.  **On by default** — the pass is
+        semantics-preserving by construction and strictly reduces compressor
+        round trips; set ``fusion_enabled=False`` to opt out (the seed
+        behaviour, still exercised by the differential tests).
     fusion_max_group:
         Optional cap on gates per fused group (``None`` = unlimited).
     num_workers:
-        Worker threads for independent block tasks of a gate plan.  ``1``
-        (the default) keeps the seed's sequential execution; larger values
-        run disjoint-block tasks on a thread pool with per-task scratch
-        buffers.  Results are bit-identical regardless of the setting.
+        Workers for independent block tasks of a gate plan.  ``1`` (the
+        default) keeps the seed's sequential execution; larger values run
+        disjoint-block tasks concurrently on the tier chosen by
+        ``executor``.  Results are bit-identical regardless of the setting.
+    executor:
+        Parallel tier for block tasks when ``num_workers > 1``: ``"thread"``
+        (the default; scales only where the codecs drop the GIL — zlib does,
+        NumPy fancy-index gathers do not) or ``"process"`` (a persistent
+        pool of worker processes with warm per-worker decompressors, scratch
+        and block-cache shards; compressed blobs move through shared-memory
+        slots, and codec-bound workloads scale with physical cores).
+    mp_start_method:
+        ``multiprocessing`` start method for the process tier: ``"fork"``,
+        ``"spawn"``, ``"forkserver"`` or ``None`` for the platform default.
+        Both fork and spawn produce bit-identical states.
     """
 
     num_ranks: int = 1
@@ -83,9 +97,11 @@ class SimulatorConfig:
     cache_miss_disable_threshold: int = 256
     start_lossless: bool = True
     track_fidelity_bound: bool = True
-    fusion_enabled: bool = False
+    fusion_enabled: bool = True
     fusion_max_group: int | None = None
     num_workers: int = 1
+    executor: str = "thread"
+    mp_start_method: str | None = None
 
     def __post_init__(self) -> None:
         if self.num_ranks < 1 or self.num_ranks & (self.num_ranks - 1):
@@ -107,6 +123,14 @@ class SimulatorConfig:
             raise ValueError("cache_lines must be >= 1")
         if self.num_workers < 1:
             raise ValueError("num_workers must be >= 1")
+        if self.executor not in ("thread", "process"):
+            raise ValueError(
+                f"executor must be 'thread' or 'process', got {self.executor!r}"
+            )
+        if self.mp_start_method not in (None, "fork", "spawn", "forkserver"):
+            raise ValueError(
+                "mp_start_method must be None, 'fork', 'spawn' or 'forkserver'"
+            )
         if self.fusion_max_group is not None and self.fusion_max_group < 1:
             raise ValueError("fusion_max_group must be >= 1 (or None)")
 

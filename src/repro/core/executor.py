@@ -18,6 +18,16 @@ a cache hit returns the same bytes recomputation would produce.
 Communication accounting stays in the calling thread: the simulated
 communicator's modelled-time delta is order-dependent, so the executor
 accounts every cross-rank exchange of the plan up front, before dispatch.
+
+:class:`ProcessTaskExecutor` is the second tier (``SimulatorConfig.executor
+= "process"``): the same plan semantics, but the tasks ship to a persistent
+pool of worker *processes* (:mod:`repro.core.procpool`), each holding a warm
+decompressor map, scratch buffers and a block-cache shard.  Blobs move
+through shared-memory slots rather than pickle, and the codec work — which
+the thread tier cannot parallelise because NumPy fancy-index gathers hold
+the GIL — runs truly concurrently.  Results are bit-identical across both
+tiers and the sequential path: tasks write disjoint blocks and every worker
+runs the exact same kernels and codecs on the exact same bytes.
 """
 
 from __future__ import annotations
@@ -35,9 +45,16 @@ from ..statevector import ops
 from .blocks import ScratchPool
 from .cache import BlockCache
 from .compressed_state import CompressedStateVector
+from .procpool import (
+    SLOTS_PER_WORKER,
+    BlockTaskWorker,
+    ProcessPool,
+    block_slot_bytes,
+    raise_worker_error,
+)
 from .report import SimulationReport
 
-__all__ = ["TaskExecutor"]
+__all__ = ["TaskExecutor", "ProcessTaskExecutor"]
 
 
 class TaskExecutor:
@@ -75,11 +92,7 @@ class TaskExecutor:
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
-        if num_workers > 1 and scratch.num_buffers < 2 * num_workers:
-            raise ValueError(
-                f"scratch pool has {scratch.num_buffers} buffers; "
-                f"{num_workers} workers need {2 * num_workers}"
-            )
+        self._validate_scratch(scratch, num_workers)
         self._state = state
         self._scratch = scratch
         self._cache = cache
@@ -90,9 +103,25 @@ class TaskExecutor:
         self._pool: ThreadPoolExecutor | None = None
         self._pool_guard = threading.Lock()
 
+    @staticmethod
+    def _validate_scratch(scratch: ScratchPool, num_workers: int) -> None:
+        if num_workers > 1 and scratch.num_buffers < 2 * num_workers:
+            raise ValueError(
+                f"scratch pool has {scratch.num_buffers} buffers; "
+                f"{num_workers} workers need {2 * num_workers}"
+            )
+
     @property
     def num_workers(self) -> int:
         return self._num_workers
+
+    def reset_workers(self) -> None:
+        """Restore fresh-simulator worker state between batched circuits.
+
+        The thread tier keeps no per-worker state beyond the pool itself, so
+        this is a no-op; the process tier overrides it to clear every
+        worker's block-cache shard and warm-compressor map.
+        """
 
     def rebind_report(self, report: SimulationReport) -> None:
         """Point the executor at a fresh report accumulator.
@@ -146,21 +175,7 @@ class TaskExecutor:
             return
         pool = self._ensure_pool()
         for wave in plan.independent_groups():
-            # Dedupe tasks whose input blobs are byte-identical (the Section
-            # 3.4 redundancy the block cache exploits).  Running them
-            # concurrently would make every copy miss the cache and pay a
-            # full round trip; instead one representative computes and the
-            # output blobs fan out to the duplicates — the same total
-            # compressor work the sequential path achieves via cache hits.
-            groups: dict[tuple[bytes, bytes | None], list[BlockTask]] = {}
-            for task in wave:
-                blob1 = self._state.get_block(*task.first).blob
-                blob2 = (
-                    self._state.get_block(*task.second).blob
-                    if task.second is not None
-                    else None
-                )
-                groups.setdefault((blob1, blob2), []).append(task)
+            groups = self._dedupe_wave(wave)
             futures = [
                 (
                     pool.submit(
@@ -174,19 +189,51 @@ class TaskExecutor:
                     ),
                     tasks,
                 )
-                for tasks in groups.values()
+                for tasks in groups
             ]
             for future, tasks in futures:
                 out1, out2 = future.result()
-                for duplicate in tasks[1:]:
-                    self._report.add_count("tasks_executed")
-                    self._state.put_block(
-                        duplicate.first[0], duplicate.first[1], out1, compressor
-                    )
-                    if duplicate.second is not None and out2 is not None:
-                        self._state.put_block(
-                            duplicate.second[0], duplicate.second[1], out2, compressor
-                        )
+                self._fan_out_duplicates(tasks, out1, out2, compressor)
+
+    def _dedupe_wave(self, wave: tuple[BlockTask, ...]) -> list[list[BlockTask]]:
+        """Group a wave's tasks by byte-identical input blobs.
+
+        This is the Section 3.4 redundancy the block cache exploits.  Running
+        duplicates concurrently would make every copy miss the cache and pay
+        a full round trip; instead one representative computes and the output
+        blobs fan out to the duplicates — the same total compressor work the
+        sequential path achieves via cache hits.
+        """
+
+        groups: dict[tuple[bytes, bytes | None], list[BlockTask]] = {}
+        for task in wave:
+            blob1 = self._state.get_block(*task.first).blob
+            blob2 = (
+                self._state.get_block(*task.second).blob
+                if task.second is not None
+                else None
+            )
+            groups.setdefault((blob1, blob2), []).append(task)
+        return list(groups.values())
+
+    def _fan_out_duplicates(
+        self,
+        tasks: list[BlockTask],
+        out1: bytes,
+        out2: bytes | None,
+        compressor: Compressor,
+    ) -> None:
+        """Copy a representative task's output blobs onto its duplicates."""
+
+        for duplicate in tasks[1:]:
+            self._report.add_count("tasks_executed")
+            self._state.put_block(
+                duplicate.first[0], duplicate.first[1], out1, compressor
+            )
+            if duplicate.second is not None and out2 is not None:
+                self._state.put_block(
+                    duplicate.second[0], duplicate.second[1], out2, compressor
+                )
 
     def _account_exchanges(self, plan: GatePlan) -> None:
         """Record the plan's inter-rank block exchanges (Section 3.3).
@@ -289,12 +336,218 @@ class TaskExecutor:
     ) -> None:
         """Target qubit selects the block or rank: cross-buffer pair update."""
 
-        if local_control_mask is None:
-            ops.apply_single_qubit_pairwise(buffer_x, buffer_y, gate.matrix)
+        ops.apply_single_qubit_pairwise_masked(
+            buffer_x, buffer_y, gate.matrix, local_control_mask
+        )
+
+
+class ProcessTaskExecutor(TaskExecutor):
+    """Runs block tasks on a persistent pool of worker *processes*.
+
+    Same contract as :class:`TaskExecutor` — bit-identical results, disjoint
+    block writes, exchange accounting up front — but the decompress → apply
+    → recompress round trip happens in worker processes, so the codec path
+    scales past the GIL.  Compressed blobs travel through per-worker
+    shared-memory slots (:mod:`repro.core.procpool`); the control pipe only
+    carries the 2x2 matrix, control metadata and frame references.
+
+    Tasks route to workers by block affinity (flat index of the task's first
+    block modulo the pool width), so each worker's block-cache shard sees
+    every recurrence of its blocks' patterns and the assignment — hence the
+    result — is deterministic.  Wave dedupe runs in the parent exactly as in
+    the thread tier, so byte-identical duplicate tasks are computed once.
+
+    Parameters beyond :class:`TaskExecutor`'s: *cache_lines*,
+    *cache_miss_disable_threshold* and *cache_enabled* configure the
+    per-worker cache shards (the parent's :class:`BlockCache` object is kept
+    only as the stats sink the simulator reports from), and *start_method*
+    picks the ``multiprocessing`` start method (``None`` = platform
+    default; ``"fork"`` and ``"spawn"`` are both supported and produce
+    bit-identical states).
+    """
+
+    def __init__(
+        self,
+        *,
+        state: CompressedStateVector,
+        scratch: ScratchPool,
+        cache: BlockCache | None,
+        decompressors: dict[str, Compressor],
+        report: SimulationReport,
+        comm: SimulatedCommunicator,
+        num_workers: int = 1,
+        cache_lines: int = 64,
+        cache_miss_disable_threshold: int | None = 256,
+        start_method: str | None = None,
+    ) -> None:
+        super().__init__(
+            state=state,
+            scratch=scratch,
+            cache=cache,
+            decompressors=decompressors,
+            report=report,
+            comm=comm,
+            num_workers=num_workers,
+        )
+        self._cache_lines = int(cache_lines)
+        self._cache_threshold = cache_miss_disable_threshold
+        self._start_method = start_method
+        self._proc_pool: ProcessPool | None = None
+
+    @staticmethod
+    def _validate_scratch(scratch: ScratchPool, num_workers: int) -> None:
+        # Workers hold their own scratch pools; the parent pool only serves
+        # sequential fallbacks and needs no per-worker sizing.
+        if scratch.num_buffers < 2:
+            raise ValueError("process executor needs >= 2 parent scratch buffers")
+
+    # -- pool lifecycle ----------------------------------------------------------------
+
+    def _ensure_proc_pool(self) -> ProcessPool:
+        if self._proc_pool is None:
+            self._proc_pool = ProcessPool(
+                self._num_workers,
+                BlockTaskWorker,
+                init_args=(
+                    self._scratch.block_amplitudes,
+                    self._decompressors,
+                    self._cache_lines,
+                    self._cache_threshold,
+                    self._cache is not None,
+                ),
+                slot_bytes=block_slot_bytes(self._scratch.block_amplitudes),
+                start_method=self._start_method,
+            )
+        return self._proc_pool
+
+    @property
+    def pool(self) -> ProcessPool | None:
+        """The live worker pool, or ``None`` before the first plan runs."""
+
+        return self._proc_pool
+
+    def reset_workers(self) -> None:
+        """Clear every worker's cache shard and warm-compressor map.
+
+        Called by :meth:`CompressedSimulator.reset` so a batched circuit sees
+        the same cache behaviour as a fresh simulator while the processes
+        themselves (and their decompressor maps and scratch pools) stay warm.
+        """
+
+        if self._proc_pool is not None:
+            self._proc_pool.broadcast(("reset",))
+
+    def close(self) -> None:
+        """Shut down the worker processes (idempotent)."""
+
+        pool, self._proc_pool = self._proc_pool, None
+        if pool is not None:
+            pool.close()
+
+    # -- plan execution ----------------------------------------------------------------
+
+    def run_plan(
+        self,
+        gate: Gate,
+        plan: GatePlan,
+        compressor: Compressor,
+        op_key: tuple,
+        local_control_mask: np.ndarray | None,
+    ) -> None:
+        if self._num_workers == 1:
+            # The documented num_workers=1 contract is the seed's sequential
+            # execution; a one-process pool would pay IPC per task for zero
+            # parallelism.  The base class runs the plan inline.
+            super().run_plan(gate, plan, compressor, op_key, local_control_mask)
             return
-        u00, u01 = gate.matrix[0, 0], gate.matrix[0, 1]
-        u10, u11 = gate.matrix[1, 0], gate.matrix[1, 1]
-        a = buffer_x[local_control_mask]
-        b = buffer_y[local_control_mask]
-        buffer_x[local_control_mask] = u00 * a + u01 * b
-        buffer_y[local_control_mask] = u10 * a + u11 * b
+        self._account_exchanges(plan)
+        pool = self._ensure_proc_pool()
+        blocks_per_rank = self._state.partition.blocks_per_rank
+        base_message = (
+            "task",
+            gate.matrix,
+            gate.target,
+            tuple(plan.local_controls),
+            compressor,
+            op_key,
+        )
+        for wave in plan.independent_groups():
+            queues: dict[int, list[list[BlockTask]]] = {}
+            for tasks in self._dedupe_wave(wave):
+                rank, block = tasks[0].first
+                worker_id = (rank * blocks_per_rank + block) % pool.num_workers
+                queues.setdefault(worker_id, []).append(tasks)
+            in_flight: dict[tuple[int, int], list[BlockTask]] = {}
+            while queues or in_flight:
+                for worker_id in list(queues):
+                    pending = queues[worker_id]
+                    while pending and self._can_submit(pool, worker_id):
+                        tasks = pending.pop(0)
+                        ticket = self._dispatch(pool, worker_id, base_message, tasks)
+                        in_flight[(worker_id, ticket)] = tasks
+                    if not pending:
+                        del queues[worker_id]
+                if in_flight:
+                    self._collect_one(pool, in_flight, compressor)
+
+    @staticmethod
+    def _can_submit(pool: ProcessPool, worker_id: int) -> bool:
+        return pool.can_submit(worker_id)
+
+    def _dispatch(
+        self,
+        pool: ProcessPool,
+        worker_id: int,
+        base_message: tuple,
+        tasks: list[BlockTask],
+    ) -> int:
+        task = tasks[0]
+        entry1 = self._state.get_block(*task.first)
+        payloads = [entry1.blob]
+        decoder_names: tuple[str, str | None] = (entry1.compressor, None)
+        if task.second is not None:
+            entry2 = self._state.get_block(*task.second)
+            payloads.append(entry2.blob)
+            decoder_names = (entry1.compressor, entry2.compressor)
+        return pool.submit(
+            worker_id, base_message + (decoder_names,), payloads
+        )
+
+    def _collect_one(
+        self,
+        pool: ProcessPool,
+        in_flight: dict[tuple[int, int], list[BlockTask]],
+        compressor: Compressor,
+    ) -> None:
+        worker_id, reply = pool.recv_any()
+        if reply[0] == "err":
+            raise_worker_error(reply, f"block task failed in pool worker {worker_id}")
+        _, ticket, out_refs, stats = reply
+        tasks = in_flight.pop((worker_id, ticket))
+        task = tasks[0]
+        out1 = pool.read_frame(worker_id, out_refs[0])
+        out2 = (
+            pool.read_frame(worker_id, out_refs[1])
+            if out_refs[1] is not None
+            else None
+        )
+
+        self._report.add_count("tasks_executed")
+        self._state.put_block(task.first[0], task.first[1], out1, compressor)
+        if task.second is not None and out2 is not None:
+            self._state.put_block(task.second[0], task.second[1], out2, compressor)
+        self._fan_out_duplicates(tasks, out1, out2, compressor)
+
+        outcome, codec_calls, timings = stats
+        if codec_calls:
+            self._report.add_count("decompress_calls", codec_calls)
+            self._report.add_count("compress_calls", codec_calls)
+        for bucket, seconds in timings.items():
+            self._report.add_time(bucket, seconds)
+        if self._cache is not None and outcome != "off":
+            # Shard lookups happen worker-side; fold their outcome into the
+            # parent cache object so reports see one aggregate hit/miss
+            # view.  "off" means the shard skipped the lookup (disabled by
+            # its own miss rule), which — as in the sequential tier — costs
+            # nothing and counts nothing.
+            self._cache.record_shard_lookup(outcome == "hit")

@@ -1,0 +1,682 @@
+"""Persistent process pool with shared-memory payload transport.
+
+The thread pool of :class:`~repro.core.executor.TaskExecutor` only scales
+where the hot loop drops the GIL, and PR 2 measured that the table-driven
+codec path does not: NumPy fancy-index gathers hold the GIL, so codec-bound
+workloads stay serial however many worker threads exist.  This module is the
+fix the ROADMAP names — a pool of *processes*, each holding warm state
+(decompressor map, scratch buffers, block-cache shard) initialised once, fed
+through pipes for small control messages and through
+:mod:`multiprocessing.shared_memory` slot rings for block-sized payloads so
+compressed blobs never ride a pickle stream.
+
+Two worker kinds build on the same :class:`ProcessPool`:
+
+* :class:`BlockTaskWorker` — executes the decompress → apply → recompress
+  round trip of one :class:`~repro.distributed.exchange.BlockTask`
+  (driven by :class:`~repro.core.executor.ProcessTaskExecutor`), and
+* the circuit-fanout worker of :mod:`repro.backends.parallel`, which runs
+  whole circuits on a warm per-process backend session.
+
+Flow control is slot-based: every worker owns ``SLOTS_PER_WORKER`` input and
+output slots in shared memory, a dispatch with ticket ``t`` uses slot
+``t % SLOTS_PER_WORKER``, and the caller never keeps more than
+``SLOTS_PER_WORKER`` tasks outstanding per worker — so a slot is only ever
+rewritten after its previous payload has been fully consumed, with no locks
+or frees inside the shared segments.  Payloads that do not fit their slot
+fall back to inline pickling, so correctness never depends on the slot size.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+import traceback
+from multiprocessing import connection as mp_connection
+from multiprocessing import get_context, shared_memory
+
+import numpy as np
+
+from ..compression.interface import Compressor
+from ..statevector import ops
+from .blocks import ScratchPool
+from .cache import BlockCache
+
+__all__ = [
+    "ProcessPool",
+    "BlockTaskWorker",
+    "WorkerCrashedError",
+    "effective_cpu_count",
+    "SLOTS_PER_WORKER",
+]
+
+#: Outstanding tasks (and therefore shared-memory slots) per worker.  Two
+#: keeps a worker busy while the parent processes its previous response
+#: without growing the shared segments beyond a double buffer per direction.
+SLOTS_PER_WORKER = 2
+
+#: Shutdown sentinel sent down a worker's control pipe.
+_SHUTDOWN = None
+
+
+def effective_cpu_count() -> int:
+    """CPUs actually available to this process (affinity-aware).
+
+    ``os.cpu_count()`` reports the machine, not the container or cpuset this
+    process is pinned to; benchmark speedup curves and worker-count defaults
+    must use the effective number or container runs overstate the available
+    parallelism.
+    """
+
+    if hasattr(os, "sched_getaffinity"):
+        try:
+            return len(os.sched_getaffinity(0)) or 1
+        except OSError:  # pragma: no cover - exotic platforms
+            pass
+    return os.cpu_count() or 1
+
+
+class WorkerCrashedError(RuntimeError):
+    """A pool worker died (or stopped responding) with tasks outstanding."""
+
+
+def raise_worker_error(reply: tuple, context: str) -> None:
+    """Re-raise an ``("err", exc, traceback)`` worker reply in the parent.
+
+    The original exception object is re-raised when it survived pickling, so
+    callers see the same type parallel or not; the worker-side traceback is
+    attached as a note (or wrapped, pre-3.11) either way.
+    """
+
+    _, exc, worker_traceback = reply
+    detail = f"{context}:\n{worker_traceback}"
+    if exc is None:
+        raise RuntimeError(detail)
+    if hasattr(exc, "add_note"):  # Python >= 3.11
+        exc.add_note(detail)
+        raise exc
+    raise exc from RuntimeError(detail)  # pragma: no cover - py3.10 path
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory slot arenas
+# ---------------------------------------------------------------------------
+
+
+def _attach_shared_memory(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment created by the pool parent.
+
+    Workers share the parent's resource-tracker process (the tracker fd is
+    inherited under fork and spawn alike), and its name cache is a set — the
+    attach-side re-register is a no-op there, and the single unlink in the
+    parent's :meth:`SlotArena.close` unregisters exactly once.  Nothing to
+    work around as long as only the creating side ever unlinks.
+    """
+
+    return shared_memory.SharedMemory(name=name)
+
+
+class SlotArena:
+    """A shared-memory segment divided into fixed-size payload slots.
+
+    One side writes a batch of byte payloads into a slot and describes them
+    with ``("shm", slot, start, length)`` frame references shipped through
+    the control pipe; the other side reads them zero-copy off the mapping.
+    The slot-reuse discipline (ticket modulo :data:`SLOTS_PER_WORKER`, with
+    the outstanding cap) makes the arena race-free without any locking.
+    """
+
+    def __init__(
+        self, *, slots: int, slot_bytes: int, name: str | None = None
+    ) -> None:
+        self._slots = int(slots)
+        self._slot_bytes = int(slot_bytes)
+        size = max(1, self._slots * self._slot_bytes)
+        if name is None:
+            self._shm = shared_memory.SharedMemory(create=True, size=size)
+            self._owner = True
+        else:
+            self._shm = _attach_shared_memory(name)
+            self._owner = False
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def slot_bytes(self) -> int:
+        return self._slot_bytes
+
+    def write(self, slot: int, payloads: list[bytes]) -> list[tuple] | None:
+        """Pack *payloads* into *slot*; ``None`` when they do not fit."""
+
+        total = sum(len(payload) for payload in payloads)
+        if total > self._slot_bytes:
+            return None
+        base = slot * self._slot_bytes
+        view = self._shm.buf
+        refs: list[tuple] = []
+        cursor = 0
+        for payload in payloads:
+            view[base + cursor : base + cursor + len(payload)] = payload
+            refs.append(("shm", slot, cursor, len(payload)))
+            cursor += len(payload)
+        return refs
+
+    def read(self, ref: tuple) -> bytes:
+        """Materialise the payload a frame reference points at."""
+
+        _, slot, start, length = ref
+        base = slot * self._slot_bytes + start
+        return bytes(self._shm.buf[base : base + length])
+
+    def close(self) -> None:
+        try:
+            self._shm.close()
+            if self._owner:
+                self._shm.unlink()
+        except (FileNotFoundError, OSError):  # pragma: no cover - already gone
+            pass
+
+
+def _pack_frames(
+    arena: SlotArena | None, slot: int, payloads: list[bytes]
+) -> list[tuple]:
+    """Frame references for *payloads*: shared-memory slots when they fit,
+    inline pickled bytes otherwise (and always when no arena exists)."""
+
+    if arena is not None:
+        refs = arena.write(slot, payloads)
+        if refs is not None:
+            return refs
+    return [("inline", payload) for payload in payloads]
+
+
+def _read_frame(arena: SlotArena | None, ref: tuple) -> bytes:
+    if ref[0] == "inline":
+        return ref[1]
+    if arena is None:
+        raise WorkerCrashedError("shm frame reference without an arena")
+    return arena.read(ref)
+
+
+# ---------------------------------------------------------------------------
+# Worker main loop
+# ---------------------------------------------------------------------------
+
+
+def _pool_worker_main(
+    conn,
+    state_factory,
+    init_args: tuple,
+    in_name: str | None,
+    out_name: str | None,
+    slots: int,
+    slot_bytes: int,
+) -> None:
+    """Entry point of every pool worker process.
+
+    Builds the warm worker state once, then serves control messages until
+    the shutdown sentinel arrives or the parent's end of the pipe closes.
+    A crash inside a handler is reported, not fatal: the traceback travels
+    back as an ``("err", ...)`` reply so the parent can raise it with
+    context.
+    """
+
+    in_arena = (
+        SlotArena(slots=slots, slot_bytes=slot_bytes, name=in_name)
+        if in_name
+        else None
+    )
+    out_arena = (
+        SlotArena(slots=slots, slot_bytes=slot_bytes, name=out_name)
+        if out_name
+        else None
+    )
+    state = None
+    try:
+        state = state_factory(*init_args)
+        if hasattr(state, "bind_arenas"):
+            state.bind_arenas(in_arena, out_arena)
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            if message is _SHUTDOWN:
+                break
+            try:
+                reply = state.handle(message)
+            except Exception as exc:
+                # Ship the exception object itself (when picklable) so the
+                # parent can re-raise the *original* type — parallel and
+                # sequential execution must fail identically — along with
+                # the formatted worker traceback for context.
+                try:
+                    pickle.dumps(exc)
+                except Exception:
+                    exc = None
+                reply = ("err", exc, traceback.format_exc())
+            try:
+                conn.send(reply)
+            except (BrokenPipeError, OSError):
+                break
+    finally:
+        if state is not None and hasattr(state, "close"):
+            try:
+                state.close()
+            except Exception:  # pragma: no cover - best-effort teardown
+                pass
+        for arena in (in_arena, out_arena):
+            if arena is not None:
+                arena.close()
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+class _WorkerHandle:
+    """Parent-side bookkeeping for one pool worker."""
+
+    def __init__(self, process, conn, in_arena, out_arena) -> None:
+        self.process = process
+        self.conn = conn
+        self.in_arena = in_arena
+        self.out_arena = out_arena
+        self.next_ticket = 0
+        self.outstanding = 0
+
+
+class ProcessPool:
+    """A small persistent pool of warm worker processes.
+
+    Parameters
+    ----------
+    num_workers:
+        Pool width.
+    state_factory:
+        Module-level class (picklable by reference, spawn-safe) constructed
+        once per worker as ``state_factory(*init_args)``; its ``handle``
+        method serves every control message.
+    init_args:
+        Arguments for the factory; must be picklable under every start
+        method.
+    slot_bytes:
+        Size of one shared-memory payload slot; ``0`` disables the arenas
+        (all payloads ride the pipe inline).
+    start_method:
+        ``"fork"``, ``"spawn"``, ``"forkserver"`` or ``None`` for the
+        platform default.
+    """
+
+    def __init__(
+        self,
+        num_workers: int,
+        state_factory,
+        init_args: tuple = (),
+        *,
+        slot_bytes: int = 0,
+        start_method: str | None = None,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        context = get_context(start_method)
+        self._workers: list[_WorkerHandle] = []
+        try:
+            for _ in range(num_workers):
+                in_arena = out_arena = None
+                try:
+                    if slot_bytes:
+                        in_arena = SlotArena(
+                            slots=SLOTS_PER_WORKER, slot_bytes=slot_bytes
+                        )
+                        out_arena = SlotArena(
+                            slots=SLOTS_PER_WORKER, slot_bytes=slot_bytes
+                        )
+                    parent_conn, child_conn = context.Pipe()
+                    process = context.Process(
+                        target=_pool_worker_main,
+                        args=(
+                            child_conn,
+                            state_factory,
+                            init_args,
+                            in_arena.name if in_arena else None,
+                            out_arena.name if out_arena else None,
+                            SLOTS_PER_WORKER,
+                            slot_bytes,
+                        ),
+                        # Not daemonic: circuit-fanout workers may themselves
+                        # use a process executor, and daemons cannot have
+                        # children.  Workers exit on pipe EOF, so they never
+                        # outlive the parent's handles.
+                        daemon=False,
+                    )
+                    process.start()
+                except BaseException:
+                    # This iteration's arenas are not yet in _workers, so
+                    # the outer close() would leak them (shm stays mapped
+                    # and linked until interpreter exit).
+                    for arena in (in_arena, out_arena):
+                        if arena is not None:
+                            arena.close()
+                    raise
+                child_conn.close()
+                self._workers.append(
+                    _WorkerHandle(process, parent_conn, in_arena, out_arena)
+                )
+        except BaseException:
+            self.close()
+            raise
+
+    @property
+    def num_workers(self) -> int:
+        return len(self._workers)
+
+    # -- dispatch ---------------------------------------------------------------------
+
+    def submit(self, worker_id: int, message: tuple, payloads: list[bytes] = ()) -> int:
+        """Send *message* (plus slot payloads) to a worker; returns the ticket.
+
+        ``payloads`` are written into the worker's input slot for this ticket
+        and their frame references appended to the message.  The caller must
+        keep at most :data:`SLOTS_PER_WORKER` tickets outstanding per worker
+        (enforced here) and must fully consume each response before
+        submitting the ticket that reuses its slot.
+        """
+
+        worker = self._workers[worker_id]
+        if worker.outstanding >= SLOTS_PER_WORKER:
+            raise RuntimeError(
+                f"worker {worker_id} already has {worker.outstanding} outstanding "
+                f"tasks (cap {SLOTS_PER_WORKER}); collect a response first"
+            )
+        ticket = worker.next_ticket
+        worker.next_ticket += 1
+        frames = _pack_frames(
+            worker.in_arena, ticket % SLOTS_PER_WORKER, list(payloads)
+        )
+        try:
+            worker.conn.send(message + (ticket, frames))
+        except (BrokenPipeError, OSError) as exc:
+            raise self._crash_error(worker_id) from exc
+        worker.outstanding += 1
+        return ticket
+
+    def read_frame(self, worker_id: int, ref: tuple) -> bytes:
+        """Materialise an output frame reference returned by a worker."""
+
+        return _read_frame(self._workers[worker_id].out_arena, ref)
+
+    def can_submit(self, worker_id: int) -> bool:
+        """Whether the worker has a free outstanding-task slot."""
+
+        return self._workers[worker_id].outstanding < SLOTS_PER_WORKER
+
+    def has_outstanding(self) -> bool:
+        return any(worker.outstanding for worker in self._workers)
+
+    def recv_any(self, timeout: float | None = None) -> tuple[int, tuple]:
+        """Next ``(worker_id, reply)`` from any worker with outstanding work.
+
+        Raises :class:`WorkerCrashedError` promptly — instead of hanging —
+        when a worker with outstanding tasks dies (pipe EOF or a failed
+        liveness probe).  A healthy worker may legitimately compute for
+        minutes on a large block, so there is no default deadline; pass
+        *timeout* (seconds) to additionally bound the wait, e.g. in tests.
+        """
+
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            waiting = {
+                worker.conn: worker_id
+                for worker_id, worker in enumerate(self._workers)
+                if worker.outstanding
+            }
+            if not waiting:
+                raise RuntimeError("recv_any() called with no outstanding tasks")
+            ready = mp_connection.wait(list(waiting), timeout=0.2)
+            for conn in ready:
+                worker_id = waiting[conn]
+                try:
+                    reply = conn.recv()
+                except (EOFError, OSError) as exc:
+                    raise self._crash_error(worker_id) from exc
+                self._workers[worker_id].outstanding -= 1
+                return worker_id, reply
+            for worker_id, worker in enumerate(self._workers):
+                if worker.outstanding and not worker.process.is_alive():
+                    raise self._crash_error(worker_id)
+            if deadline is not None and time.monotonic() > deadline:
+                raise WorkerCrashedError(
+                    f"no pool worker answered within {timeout:.0f}s "
+                    f"({sum(w.outstanding for w in self._workers)} tasks outstanding)"
+                )
+
+    def broadcast(self, message: tuple) -> list[tuple]:
+        """Send *message* to every worker and collect one reply from each."""
+
+        replies = []
+        for worker_id in range(len(self._workers)):
+            self.submit(worker_id, message)
+        for _ in range(len(self._workers)):
+            _, reply = self.recv_any()
+            replies.append(reply)
+        return replies
+
+    def worker_pid(self, worker_id: int) -> int:
+        """PID of a worker process (test/diagnostic hook)."""
+
+        return self._workers[worker_id].process.pid
+
+    def _crash_error(self, worker_id: int) -> WorkerCrashedError:
+        worker = self._workers[worker_id]
+        worker.process.join(timeout=1.0)
+        exitcode = worker.process.exitcode
+        return WorkerCrashedError(
+            f"pool worker {worker_id} (pid {worker.process.pid}) died "
+            f"mid-plan (exit code {exitcode}); the simulation state is "
+            "incomplete — rebuild the simulator to continue"
+        )
+
+    # -- lifecycle --------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut every worker down (idempotent)."""
+
+        workers, self._workers = self._workers, []
+        for worker in workers:
+            try:
+                worker.conn.send(_SHUTDOWN)
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in workers:
+            worker.process.join(timeout=3.0)
+            if worker.process.is_alive():  # pragma: no cover - stuck worker
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+            try:
+                worker.conn.close()
+            except OSError:  # pragma: no cover
+                pass
+            for arena in (worker.in_arena, worker.out_arena):
+                if arena is not None:
+                    arena.close()
+
+    def __enter__(self) -> "ProcessPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# Block-task worker
+# ---------------------------------------------------------------------------
+
+
+def block_slot_bytes(block_amplitudes: int) -> int:
+    """Input/output slot size for block-task transport.
+
+    A task moves at most two blobs, each bounded in practice by the
+    uncompressed block size plus codec overhead; pathological blobs (e.g.
+    all-subnormal exception streams) simply take the inline fallback.
+    """
+
+    return 2 * (16 * int(block_amplitudes) + 16384)
+
+
+class BlockTaskWorker:
+    """Warm per-process state executing block tasks.
+
+    Initialised once per worker: the decompressor map (one instance per
+    codec class, exactly like the parent simulator's), two scratch buffers
+    leased from a private :class:`ScratchPool`, a compressor cache keyed by
+    ``describe()`` so recompression reuses warm instances across gates, and
+    an optional :class:`BlockCache` shard.  Tasks are routed to workers by
+    block affinity, so a shard sees every recurrence of its blocks' patterns.
+    """
+
+    def __init__(
+        self,
+        block_amplitudes: int,
+        decompressors: dict[str, Compressor],
+        cache_lines: int,
+        cache_miss_disable_threshold: int | None,
+        cache_enabled: bool,
+    ) -> None:
+        self._scratch = ScratchPool(block_amplitudes, buffers=2)
+        self._decompressors = dict(decompressors)
+        self._compressors: dict[str, Compressor] = {}
+        self._masks: dict[tuple[int, ...], np.ndarray | None] = {}
+        self._cache = (
+            BlockCache(
+                lines=cache_lines,
+                miss_disable_threshold=cache_miss_disable_threshold,
+            )
+            if cache_enabled
+            else None
+        )
+        self._in_arena: SlotArena | None = None
+        self._out_arena: SlotArena | None = None
+
+    def bind_arenas(
+        self, in_arena: SlotArena | None, out_arena: SlotArena | None
+    ) -> None:
+        self._in_arena = in_arena
+        self._out_arena = out_arena
+
+    # -- warm lookups ----------------------------------------------------------------
+
+    def _compressor_for(self, compressor: Compressor) -> Compressor:
+        warm = self._compressors.get(compressor.describe())
+        if warm is None:
+            warm = self._compressors[compressor.describe()] = compressor
+            # The same class decodes every blob it produced; keep the map in
+            # sync so escalated-level blobs always find a decoder.
+            self._decompressors.setdefault(compressor.name, compressor)
+        return warm
+
+    def _mask_for(self, local_controls: tuple[int, ...]) -> np.ndarray | None:
+        if local_controls not in self._masks:
+            self._masks[local_controls] = ops.local_control_mask(
+                self._scratch.block_amplitudes, local_controls
+            )
+        return self._masks[local_controls]
+
+    # -- message handling -------------------------------------------------------------
+
+    def handle(self, message: tuple) -> tuple:
+        kind = message[0]
+        if kind == "task":
+            return self._run_task(message)
+        if kind == "reset":
+            ticket = message[-2]
+            if self._cache is not None:
+                self._cache.reset()
+            self._compressors.clear()
+            return ("reset-ok", ticket)
+        if kind == "ping":
+            return ("pong", message[-2])
+        if kind == "die":  # test hook for the worker-failure path
+            os._exit(17)
+        raise ValueError(f"unknown block-task message {kind!r}")
+
+    def _run_task(self, message: tuple) -> tuple:
+        (
+            _,
+            matrix,
+            target,
+            local_controls,
+            compressor,
+            op_key,
+            decoder_names,
+            ticket,
+            frames,
+        ) = message
+        pair = decoder_names[1] is not None
+        blob1 = _read_frame(self._in_arena, frames[0])
+        blob2 = _read_frame(self._in_arena, frames[1]) if pair else None
+        compressor = self._compressor_for(compressor)
+
+        # Mirror BlockCache's own accounting: once a shard disables itself
+        # its lookups are free and *uncounted*, exactly like the
+        # sequential/thread tiers — the parent only folds in outcomes that
+        # the shard itself counted.
+        hit = False
+        outcome = "off"
+        if self._cache is not None and self._cache.enabled:
+            cached = self._cache.lookup(op_key, blob1, blob2)
+            if cached is not None:
+                out1, out2 = cached
+                hit = True
+            outcome = "hit" if hit else "miss"
+        if not hit:
+            timings = {}
+            with self._scratch.lease(2 if pair else 1) as buffers:
+                start = time.perf_counter()
+                buffer1 = self._scratch.fill(
+                    buffers[0],
+                    self._decompressors[decoder_names[0]].decompress(blob1),
+                )
+                buffer2 = None
+                if blob2 is not None:
+                    buffer2 = self._scratch.fill(
+                        buffers[1],
+                        self._decompressors[decoder_names[1]].decompress(blob2),
+                    )
+                timings["decompression"] = time.perf_counter() - start
+
+                start = time.perf_counter()
+                if buffer2 is None:
+                    ops.apply_controlled_single_qubit(
+                        buffer1, matrix, target, local_controls
+                    )
+                else:
+                    ops.apply_single_qubit_pairwise_masked(
+                        buffer1, buffer2, matrix, self._mask_for(local_controls)
+                    )
+                timings["computation"] = time.perf_counter() - start
+
+                start = time.perf_counter()
+                out1 = compressor.compress(buffer1.view(np.float64))
+                out2 = (
+                    compressor.compress(buffer2.view(np.float64))
+                    if buffer2 is not None
+                    else None
+                )
+                timings["compression"] = time.perf_counter() - start
+            if self._cache is not None:
+                self._cache.insert(op_key, blob1, blob2, out1, out2)
+        else:
+            timings = {"decompression": 0.0, "computation": 0.0, "compression": 0.0}
+
+        payloads = [out1] if out2 is None else [out1, out2]
+        refs = _pack_frames(
+            self._out_arena, ticket % SLOTS_PER_WORKER, payloads
+        )
+        out_refs = (refs[0], refs[1] if out2 is not None else None)
+        calls = 0 if hit else (2 if pair else 1)
+        stats = (outcome, calls, timings)
+        return ("done", ticket, out_refs, stats)

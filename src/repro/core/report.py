@@ -159,6 +159,11 @@ class SimulationReport:
             "gates_executed": self.gates_executed,
             "total_seconds": self.total_seconds,
             "seconds_per_gate": self.seconds_per_gate,
+            "compression_seconds": self.compression_seconds,
+            "decompression_seconds": self.decompression_seconds,
+            "computation_seconds": self.computation_seconds,
+            "communication_seconds": self.communication_seconds,
+            "other_seconds": self.other_seconds,
             "communication_bytes": self.communication_bytes,
             "block_exchanges": self.block_exchanges,
             "cache_hits": self.cache_hits,

@@ -38,12 +38,13 @@ from ..compression.interface import Compressor, get_compressor
 from ..distributed.comm import SimulatedCommunicator
 from ..distributed.exchange import plan_gate
 from ..distributed.partition import Partition, QubitSegment
+from ..statevector import ops
 from .adaptive import AdaptiveErrorController
 from .blocks import CompressedBlock, ScratchPool
 from .cache import BlockCache
 from .compressed_state import CompressedStateVector
 from .config import SimulatorConfig
-from .executor import TaskExecutor
+from .executor import ProcessTaskExecutor, TaskExecutor
 from .fidelity import FidelityTracker
 from .report import SimulationReport
 
@@ -90,10 +91,14 @@ class CompressedSimulator:
         )
         self._comm = comm or SimulatedCommunicator(self._config.num_ranks)
         self._controller = AdaptiveErrorController(self._config)
-        # Two scratch buffers per worker: every block-pair task leases its
-        # own pair, so parallel tasks never share a staging buffer.
+        # Two scratch buffers per worker *thread*: every block-pair task
+        # leases its own pair, so parallel tasks never share a staging
+        # buffer.  Process workers stage in their own address space, so the
+        # parent pool stays at the sequential size.
+        process_mode = self._config.executor == "process"
         self._scratch = ScratchPool(
-            block_amplitudes, buffers=2 * self._config.num_workers
+            block_amplitudes,
+            buffers=2 if process_mode else 2 * self._config.num_workers,
         )
         self._cache = (
             BlockCache(
@@ -133,15 +138,31 @@ class CompressedSimulator:
             comm=self._comm,
             initial_basis_state=initial_basis_state,
         )
-        self._executor = TaskExecutor(
-            state=self._state,
-            scratch=self._scratch,
-            cache=self._cache,
-            decompressors=self._decompressors,
-            report=self._report,
-            comm=self._comm,
-            num_workers=self._config.num_workers,
-        )
+        if process_mode:
+            self._executor: TaskExecutor = ProcessTaskExecutor(
+                state=self._state,
+                scratch=self._scratch,
+                cache=self._cache,
+                decompressors=self._decompressors,
+                report=self._report,
+                comm=self._comm,
+                num_workers=self._config.num_workers,
+                cache_lines=self._config.cache_lines,
+                cache_miss_disable_threshold=(
+                    self._config.cache_miss_disable_threshold
+                ),
+                start_method=self._config.mp_start_method,
+            )
+        else:
+            self._executor = TaskExecutor(
+                state=self._state,
+                scratch=self._scratch,
+                cache=self._cache,
+                decompressors=self._decompressors,
+                report=self._report,
+                comm=self._comm,
+                num_workers=self._config.num_workers,
+            )
         self._gate_index = 0
 
     # -- public accessors -----------------------------------------------------------
@@ -196,7 +217,8 @@ class CompressedSimulator:
     # -- lifecycle ----------------------------------------------------------------------
 
     def close(self) -> None:
-        """Release the executor's worker threads (no-op for num_workers=1)."""
+        """Release the executor's workers — threads or processes (idempotent;
+        a no-op for the sequential thread tier)."""
 
         self._executor.close()
 
@@ -240,6 +262,7 @@ class CompressedSimulator:
             block_amplitudes=self._partition.block_amplitudes,
         )
         self._executor.rebind_report(self._report)
+        self._executor.reset_workers()
         self._gate_index = 0
 
     def fork(self) -> "CompressedSimulator":
@@ -258,8 +281,8 @@ class CompressedSimulator:
         """
 
         config = self._config
-        if config.num_workers != 1:
-            config = replace(config, num_workers=1)
+        if config.num_workers != 1 or config.executor != "thread":
+            config = replace(config, num_workers=1, executor="thread")
         clone = CompressedSimulator(self._num_qubits, config)
         if self._controller.current_bound:
             clone._controller.force_level(self._controller.current_bound)
@@ -344,13 +367,9 @@ class CompressedSimulator:
         """Boolean mask over block offsets selecting amplitudes whose local
         control bits are all 1 (``None`` when there are no local controls)."""
 
-        if not local_controls:
-            return None
-        control_bits = 0
-        for control in local_controls:
-            control_bits |= 1 << control
-        offsets = np.arange(self._partition.block_amplitudes, dtype=np.int64)
-        return (offsets & control_bits) == control_bits
+        return ops.local_control_mask(
+            self._partition.block_amplitudes, local_controls
+        )
 
     # -- report plumbing ----------------------------------------------------------------------
 

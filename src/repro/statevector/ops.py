@@ -25,7 +25,9 @@ import numpy as np
 __all__ = [
     "apply_single_qubit",
     "apply_single_qubit_pairwise",
+    "apply_single_qubit_pairwise_masked",
     "apply_controlled_single_qubit",
+    "local_control_mask",
     "control_mask_indices",
     "apply_gate_to_vector",
 ]
@@ -83,6 +85,51 @@ def apply_single_qubit_pairwise(
     new_y = u10 * vector_x + u11 * vector_y
     vector_x[:] = new_x
     vector_y[:] = new_y
+
+
+def apply_single_qubit_pairwise_masked(
+    vector_x: np.ndarray,
+    vector_y: np.ndarray,
+    matrix: np.ndarray,
+    mask: np.ndarray | None,
+) -> None:
+    """Pairwise 2x2 update restricted to the amplitudes *mask* selects.
+
+    This is the cross-buffer update of a controlled gate whose controls lie
+    in the local index segment: only offsets whose control bits are all 1
+    participate.  ``mask=None`` is the uncontrolled case.  Shared by the
+    thread executor and the block-task process workers so both tiers apply
+    bit-identical arithmetic.
+    """
+
+    if mask is None:
+        apply_single_qubit_pairwise(vector_x, vector_y, matrix)
+        return
+    u00, u01 = matrix[0, 0], matrix[0, 1]
+    u10, u11 = matrix[1, 0], matrix[1, 1]
+    a = vector_x[mask]
+    b = vector_y[mask]
+    vector_x[mask] = u00 * a + u01 * b
+    vector_y[mask] = u10 * a + u11 * b
+
+
+def local_control_mask(
+    size: int, local_controls: tuple[int, ...]
+) -> np.ndarray | None:
+    """Boolean mask over *size* block offsets whose control bits are all 1.
+
+    ``None`` when there are no local controls (the uncontrolled fast path).
+    Shared by the simulator's planner and the block-task process workers so
+    both derive byte-identical masks from a plan's ``local_controls``.
+    """
+
+    if not local_controls:
+        return None
+    control_bits = 0
+    for control in local_controls:
+        control_bits |= 1 << control
+    offsets = np.arange(size, dtype=np.int64)
+    return (offsets & control_bits) == control_bits
 
 
 def control_mask_indices(

@@ -171,6 +171,31 @@ class TestFusedPlanning:
 # ---------------------------------------------------------------------------
 
 
+class TestFusionDefault:
+    """Fusion is on by default (ROADMAP flip); the opt-out stays explicit."""
+
+    def test_default_config_enables_fusion(self):
+        from repro.core import SimulatorConfig
+
+        assert SimulatorConfig().fusion_enabled is True
+
+    def test_opt_out_restores_seed_gate_accounting(self, simulator_config):
+        circuit = _chain_circuit(NUM_QUBITS)
+        with CompressedSimulator(
+            NUM_QUBITS, simulator_config(fusion_enabled=False)
+        ) as seed_path:
+            seed_report = seed_path.apply_circuit(circuit)
+        with CompressedSimulator(NUM_QUBITS, simulator_config()) as fused_path:
+            fused_report = fused_path.apply_circuit(circuit)
+        # Opt-out: one executed gate (and one round trip) per source gate.
+        assert seed_report.gates_executed == len(circuit)
+        assert seed_report.fusion_gates_in == 0
+        # Default: the same-target chains collapse, fewer round trips.
+        assert fused_report.fusion_gates_in == len(circuit)
+        assert fused_report.gates_executed < len(circuit)
+        assert fused_report.compress_calls < seed_report.compress_calls
+
+
 class TestDifferentialLossless:
     @given(circuit=fusion_heavy_circuits())
     @settings(max_examples=12, deadline=None)
