@@ -5,7 +5,9 @@ Data Compression" (SC 2019).  The package is organised as:
 
 * :mod:`repro.circuits` — gates and circuit construction,
 * :mod:`repro.statevector` — the dense (compression-free) reference simulator,
-* :mod:`repro.distributed` — simulated MPI rank / block decomposition,
+* :mod:`repro.distributed` — rank / block decomposition, the communicator
+  hierarchy (simulated / shared-memory process / future MPI) and the
+  multi-rank execution tier,
 * :mod:`repro.compression` — lossless and error-bounded lossy compressors,
 * :mod:`repro.core` — the compressed-state simulator (the paper's contribution),
 * :mod:`repro.backends` — the unified ``run()`` API over pluggable engines,

@@ -168,10 +168,14 @@ class PauliObservable:
 
     @property
     def num_qubits(self) -> int:
+        """Register width every term acts on (length of the Pauli strings)."""
+
         return len(self._terms[0][1])
 
     @property
     def label(self) -> str:
+        """Key under which ``Result.expectations`` records this observable."""
+
         if self._label is not None:
             return self._label
         return " + ".join(

@@ -78,6 +78,8 @@ class Result:
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "Result":
+        """Rebuild a :class:`Result` from :meth:`as_dict` output."""
+
         statevector = None
         if data.get("statevector") is not None:
             packed = data["statevector"]
@@ -104,10 +106,14 @@ class Result:
         )
 
     def to_json(self, **dumps_kwargs) -> str:
+        """Serialise to a JSON string (``from_json`` round-trips it)."""
+
         return json.dumps(self.as_dict(), **dumps_kwargs)
 
     @classmethod
     def from_json(cls, payload: str) -> "Result":
+        """Rebuild a :class:`Result` from :meth:`to_json` output."""
+
         return cls.from_dict(json.loads(payload))
 
 
@@ -131,6 +137,8 @@ class ResultSet(Sequence):
 
     @property
     def results(self) -> tuple[Result, ...]:
+        """The collected :class:`Result` objects, in batch order."""
+
         return self._results
 
     def expectations(self, label: str) -> list[float]:
@@ -139,13 +147,19 @@ class ResultSet(Sequence):
         return [result.expectation(label) for result in self._results]
 
     def as_dict(self) -> dict:
+        """JSON-serialisable form: one ``as_dict`` entry per result."""
+
         return {"results": [result.as_dict() for result in self._results]}
 
     def to_json(self, **dumps_kwargs) -> str:
+        """Serialise the whole batch to one JSON string."""
+
         return json.dumps(self.as_dict(), **dumps_kwargs)
 
     @classmethod
     def from_json(cls, payload: str) -> "ResultSet":
+        """Rebuild a :class:`ResultSet` from :meth:`to_json` output."""
+
         data = json.loads(payload)
         return cls([Result.from_dict(entry) for entry in data["results"]])
 

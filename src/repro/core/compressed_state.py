@@ -20,7 +20,63 @@ from ..distributed.comm import SimulatedCommunicator
 from ..distributed.partition import Partition
 from .blocks import BlockStore, CompressedBlock
 
-__all__ = ["CompressedStateVector"]
+__all__ = ["CompressedStateVector", "initial_rank_blocks"]
+
+
+def initial_rank_blocks(
+    partition: Partition,
+    compressor: Compressor,
+    basis_state: int,
+    rank: int,
+    zero_blob: bytes | None = None,
+) -> tuple[dict[int, CompressedBlock], bytes | None]:
+    """Build one rank's slice of ``|basis_state>`` as compressed blocks.
+
+    The single source of truth for state initialisation: the parent-side
+    :class:`CompressedStateVector` builds every rank's slice with it, and
+    each :class:`~repro.distributed.ranked.RankWorker` builds its own — the
+    compressors are deterministic, so both paths produce byte-identical
+    blobs, which is what the ranked tier's bit-identity contract rests on.
+
+    Parameters
+    ----------
+    partition:
+        The rank/block decomposition.
+    compressor:
+        Compressor for the initial blocks.
+    basis_state:
+        Global basis-state index to initialise to.
+    rank:
+        Which rank's slice to build.
+    zero_blob:
+        Optional pre-compressed all-zero block, so a caller looping over
+        ranks compresses the zero block once; pass ``None`` to (lazily)
+        compress it here.
+
+    Returns
+    -------
+    tuple
+        ``(blocks, zero_blob)`` — block index → :class:`CompressedBlock`
+        for this rank, and the zero blob for reuse on the next rank (still
+        ``None`` when every block of this rank held the basis state).
+    """
+
+    target_rank, target_block, target_offset = partition.locate(basis_state)
+    zero_block = np.zeros(partition.block_amplitudes, dtype=np.complex128)
+    blocks: dict[int, CompressedBlock] = {}
+    for block in range(partition.blocks_per_rank):
+        if rank == target_rank and block == target_block:
+            amplitudes = zero_block.copy()
+            amplitudes[target_offset] = 1.0
+            blob = compressor.compress(amplitudes.view(np.float64))
+        else:
+            if zero_blob is None:
+                zero_blob = compressor.compress(zero_block.view(np.float64))
+            blob = zero_blob
+        blocks[block] = CompressedBlock(
+            blob=blob, compressor=compressor.name, bound=compressor.bound
+        )
+    return blocks, zero_blob
 
 
 class CompressedStateVector:
@@ -58,26 +114,13 @@ class CompressedStateVector:
 
     def _initialise(self, compressor: Compressor, basis_state: int) -> None:
         partition = self._partition
-        target_rank, target_block, target_offset = partition.locate(basis_state)
-        zero_block = np.zeros(partition.block_amplitudes, dtype=np.complex128)
         zero_blob: bytes | None = None
         for rank in range(partition.num_ranks):
-            for block in range(partition.blocks_per_rank):
-                if rank == target_rank and block == target_block:
-                    amplitudes = zero_block.copy()
-                    amplitudes[target_offset] = 1.0
-                    blob = compressor.compress(amplitudes.view(np.float64))
-                else:
-                    if zero_blob is None:
-                        zero_blob = compressor.compress(zero_block.view(np.float64))
-                    blob = zero_blob
-                self._store.put(
-                    rank,
-                    block,
-                    CompressedBlock(
-                        blob=blob, compressor=compressor.name, bound=compressor.bound
-                    ),
-                )
+            blocks, zero_blob = initial_rank_blocks(
+                partition, compressor, basis_state, rank, zero_blob
+            )
+            for block, entry in blocks.items():
+                self._store.put(rank, block, entry)
 
     def reset(self, compressor: Compressor, initial_basis_state: int = 0) -> None:
         """Re-initialise every block to ``|initial_basis_state>`` in place.

@@ -83,6 +83,18 @@ class SimulatorConfig:
         ``multiprocessing`` start method for the process tier: ``"fork"``,
         ``"spawn"``, ``"forkserver"`` or ``None`` for the platform default.
         Both fork and spawn produce bit-identical states.
+    comm:
+        Communication tier for the ``num_ranks`` partition.  ``"simulated"``
+        (the default) keeps every rank's blocks in one process and only
+        *accounts* the traffic a distributed run would generate
+        (:class:`~repro.distributed.comm.SimulatedCommunicator`);
+        ``"process"`` makes each rank a persistent worker process owning its
+        partition slice, with entangling gates moving real compressed blobs
+        between ranks through shared-memory channels
+        (:mod:`repro.distributed.ranked`).  Results are bit-identical across
+        both tiers.  ``comm="process"`` supplies its own parallelism (one
+        process per rank), so it requires the default ``executor="thread"``
+        with ``num_workers=1``.
     """
 
     num_ranks: int = 1
@@ -102,6 +114,7 @@ class SimulatorConfig:
     num_workers: int = 1
     executor: str = "thread"
     mp_start_method: str | None = None
+    comm: str = "simulated"
 
     def __post_init__(self) -> None:
         if self.num_ranks < 1 or self.num_ranks & (self.num_ranks - 1):
@@ -130,6 +143,18 @@ class SimulatorConfig:
         if self.mp_start_method not in (None, "fork", "spawn", "forkserver"):
             raise ValueError(
                 "mp_start_method must be None, 'fork', 'spawn' or 'forkserver'"
+            )
+        if self.comm not in ("simulated", "process"):
+            raise ValueError(
+                f"comm must be 'simulated' or 'process', got {self.comm!r}"
+            )
+        if self.comm == "process" and (
+            self.executor != "thread" or self.num_workers != 1
+        ):
+            raise ValueError(
+                "comm='process' runs one worker process per rank and is "
+                "incompatible with executor='process' or num_workers > 1; "
+                "scale it with num_ranks instead"
             )
         if self.fusion_max_group is not None and self.fusion_max_group < 1:
             raise ValueError("fusion_max_group must be >= 1 (or None)")

@@ -142,10 +142,14 @@ class SlotArena:
 
     @property
     def name(self) -> str:
+        """Shared-memory segment name workers attach to."""
+
         return self._shm.name
 
     @property
     def slot_bytes(self) -> int:
+        """Capacity of one payload slot in bytes."""
+
         return self._slot_bytes
 
     def write(self, slot: int, payloads: list[bytes]) -> list[tuple] | None:
@@ -172,6 +176,8 @@ class SlotArena:
         return bytes(self._shm.buf[base : base + length])
 
     def close(self) -> None:
+        """Detach from the segment; the creating side also unlinks it."""
+
         try:
             self._shm.close()
             if self._owner:
@@ -303,6 +309,11 @@ class ProcessPool:
     init_args:
         Arguments for the factory; must be picklable under every start
         method.
+    worker_args:
+        Optional per-worker argument tuples, one per worker, appended after
+        *init_args* — ``state_factory(*init_args, *worker_args[i])`` for
+        worker ``i``.  This is how the ranked tier tells each worker which
+        rank it is while sharing the rest of the configuration.
     slot_bytes:
         Size of one shared-memory payload slot; ``0`` disables the arenas
         (all payloads ride the pipe inline).
@@ -317,15 +328,21 @@ class ProcessPool:
         state_factory,
         init_args: tuple = (),
         *,
+        worker_args: list[tuple] | None = None,
         slot_bytes: int = 0,
         start_method: str | None = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
+        if worker_args is not None and len(worker_args) != num_workers:
+            raise ValueError(
+                f"worker_args has {len(worker_args)} entries for "
+                f"{num_workers} workers"
+            )
         context = get_context(start_method)
         self._workers: list[_WorkerHandle] = []
         try:
-            for _ in range(num_workers):
+            for worker_index in range(num_workers):
                 in_arena = out_arena = None
                 try:
                     if slot_bytes:
@@ -336,12 +353,13 @@ class ProcessPool:
                             slots=SLOTS_PER_WORKER, slot_bytes=slot_bytes
                         )
                     parent_conn, child_conn = context.Pipe()
+                    extra = worker_args[worker_index] if worker_args else ()
                     process = context.Process(
                         target=_pool_worker_main,
                         args=(
                             child_conn,
                             state_factory,
-                            init_args,
+                            init_args + tuple(extra),
                             in_arena.name if in_arena else None,
                             out_arena.name if out_arena else None,
                             SLOTS_PER_WORKER,
@@ -372,6 +390,8 @@ class ProcessPool:
 
     @property
     def num_workers(self) -> int:
+        """Live pool width."""
+
         return len(self._workers)
 
     # -- dispatch ---------------------------------------------------------------------
@@ -415,6 +435,8 @@ class ProcessPool:
         return self._workers[worker_id].outstanding < SLOTS_PER_WORKER
 
     def has_outstanding(self) -> bool:
+        """Whether any worker still owes a response."""
+
         return any(worker.outstanding for worker in self._workers)
 
     def recv_any(self, timeout: float | None = None) -> tuple[int, tuple]:
@@ -564,6 +586,8 @@ class BlockTaskWorker:
     def bind_arenas(
         self, in_arena: SlotArena | None, out_arena: SlotArena | None
     ) -> None:
+        """Receive the worker's payload slot arenas from the worker main loop."""
+
         self._in_arena = in_arena
         self._out_arena = out_arena
 
@@ -588,6 +612,8 @@ class BlockTaskWorker:
     # -- message handling -------------------------------------------------------------
 
     def handle(self, message: tuple) -> tuple:
+        """Serve one control message (``task`` / ``reset`` / ``ping`` / ``die``)."""
+
         kind = message[0]
         if kind == "task":
             return self._run_task(message)

@@ -77,6 +77,15 @@ class SimulationReport:
     final_error_bound: float = 0.0
     escalations: int = 0
 
+    #: Per-rank communicator counters of the ranked tier
+    #: (``SimulatorConfig.comm="process"``): one dict per rank with the
+    #: :class:`~repro.distributed.comm.CommunicationStats` fields this
+    #: endpoint sent plus measured ``exchange_seconds`` /
+    #: ``allreduce_seconds`` / ``barrier_seconds``.  ``None`` when
+    #: communication is simulated (the aggregate counters above then carry
+    #: the modelled traffic).
+    rank_comm: list | None = None
+
     _buckets: dict = field(default_factory=dict, repr=False)
     #: Guards the accumulators: with ``num_workers > 1`` timers and counters
     #: are fed from the executor's worker threads.  Time buckets then sum
@@ -178,6 +187,7 @@ class SimulationReport:
             "fidelity_lower_bound": self.fidelity_lower_bound,
             "final_error_bound": self.final_error_bound,
             "escalations": self.escalations,
+            "rank_comm": self.rank_comm,
         }
         data.update({f"{k}_fraction": v for k, v in self.breakdown().items()})
         return data

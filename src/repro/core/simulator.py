@@ -93,12 +93,19 @@ class CompressedSimulator:
         self._controller = AdaptiveErrorController(self._config)
         # Two scratch buffers per worker *thread*: every block-pair task
         # leases its own pair, so parallel tasks never share a staging
-        # buffer.  Process workers stage in their own address space, so the
-        # parent pool stays at the sequential size.
-        process_mode = self._config.executor == "process"
-        self._scratch = ScratchPool(
-            block_amplitudes,
-            buffers=2 if process_mode else 2 * self._config.num_workers,
+        # buffer.  Block-task process workers stage in their own address
+        # space, so the parent pool stays at the sequential size; rank
+        # workers own *all* staging (parent-side state queries allocate
+        # fresh arrays), so the ranked parent keeps no pool at all.
+        ranked_mode = self._config.comm == "process"
+        process_mode = self._config.executor == "process" and not ranked_mode
+        self._scratch = (
+            None
+            if ranked_mode
+            else ScratchPool(
+                block_amplitudes,
+                buffers=2 if process_mode else 2 * self._config.num_workers,
+            )
         )
         self._cache = (
             BlockCache(
@@ -131,6 +138,40 @@ class CompressedSimulator:
             lossless.name: lossless,
             lossy.name: lossy,
         }
+
+        if ranked_mode:
+            # The ranked tier owns the state: one worker process per rank,
+            # each holding its partition slice, with real inter-rank block
+            # exchange over shared memory.  Imported lazily to keep the
+            # repro.distributed package import-light.
+            from ..distributed.ranked import RankedExecutor, RankedStateVector
+
+            ranked = RankedExecutor(
+                partition=self._partition,
+                decompressors=self._decompressors,
+                report=self._report,
+                comm_sink=self._comm,
+                cache=self._cache,
+                cache_lines=self._config.cache_lines,
+                cache_miss_disable_threshold=(
+                    self._config.cache_miss_disable_threshold
+                ),
+                start_method=self._config.mp_start_method,
+            )
+            try:
+                self._state = RankedStateVector(
+                    partition=self._partition,
+                    executor=ranked,
+                    comm=self._comm,
+                    compressor=self._initial_compressor(),
+                    initial_basis_state=initial_basis_state,
+                )
+            except BaseException:
+                ranked.close()
+                raise
+            self._executor = ranked
+            self._gate_index = 0
+            return
 
         self._state = CompressedStateVector(
             partition=self._partition,
@@ -281,8 +322,17 @@ class CompressedSimulator:
         """
 
         config = self._config
-        if config.num_workers != 1 or config.executor != "thread":
-            config = replace(config, num_workers=1, executor="thread")
+        if (
+            config.num_workers != 1
+            or config.executor != "thread"
+            or config.comm != "simulated"
+        ):
+            # Forks exist for short side computations: always local,
+            # single-worker, simulated-communication — even when the parent
+            # runs on the process or ranked tier.
+            config = replace(
+                config, num_workers=1, executor="thread", comm="simulated"
+            )
         clone = CompressedSimulator(self._num_qubits, config)
         if self._controller.current_bound:
             clone._controller.force_level(self._controller.current_bound)

@@ -1,25 +1,45 @@
-"""Simulated MPI communicator.
+"""The communicator hierarchy: simulated, process-backed, future MPI.
 
-The paper runs Intel-QS over MPI on up to 4,096 Theta nodes.  mpi4py is not
-available in this environment, so the reproduction models the communication
-layer explicitly instead: every rank's compressed blocks live in one process,
-and :class:`SimulatedCommunicator` records the traffic (messages and bytes)
-that a real MPI execution would have generated — the quantity behind the
-"Communication Time" rows of Table 2.
+The paper runs Intel-QS over MPI on up to 4,096 Theta nodes (Section 4).
+This reproduction models that layer as a small hierarchy, all sharing the
+subset of MPI the simulator needs — point-to-point block exchange, allreduce
+for norms, a barrier:
 
-The interface intentionally mirrors the small subset of MPI that the
-simulator needs (point-to-point block exchange, allreduce for norms, a
-barrier), so a real ``mpi4py``-backed communicator could be swapped in
-without touching the simulator.
+* :class:`SimulatedCommunicator` — every rank's compressed blocks live in one
+  process and the communicator only *records* the traffic (messages and
+  bytes) a real MPI execution would have generated: the quantity behind the
+  "Communication Time" rows of Table 2 and the Figure 16 bandwidth model.
+* :class:`~repro.distributed.process_comm.ProcessCommunicator` — the real
+  thing at single-node scale: each rank is a worker process owning its
+  partition slice (:mod:`repro.distributed.ranked`), and compressed blobs
+  actually cross process boundaries through shared-memory channels.  It
+  implements :class:`RankCommunicator`, the payload-carrying interface below.
+* an MPI communicator (future work) — a thin ``mpi4py`` wrapper implementing
+  the same :class:`RankCommunicator` interface (``sendrecv_bytes`` →
+  ``MPI.Comm.sendrecv``, ``allreduce_sum`` → ``MPI.Comm.allreduce``) would
+  let the ranked tier span nodes without touching the executor.
+
+Both real and simulated communicators account their traffic in the same
+:class:`CommunicationStats` counters;
+:func:`aggregate_rank_stats` normalises per-endpoint counters of a real
+communicator onto the conventions of the shared simulated object so reports
+and tests can compare them field by field.
 """
 
 from __future__ import annotations
 
+import abc
 from dataclasses import dataclass, field
+from typing import Iterable, Mapping
 
 import numpy as np
 
-__all__ = ["CommunicationStats", "SimulatedCommunicator"]
+__all__ = [
+    "CommunicationStats",
+    "SimulatedCommunicator",
+    "RankCommunicator",
+    "aggregate_rank_stats",
+]
 
 
 @dataclass
@@ -33,6 +53,8 @@ class CommunicationStats:
     barriers: int = 0
 
     def reset(self) -> None:
+        """Zero every counter."""
+
         self.messages = 0
         self.bytes_sent = 0
         self.exchanges = 0
@@ -40,6 +62,8 @@ class CommunicationStats:
         self.barriers = 0
 
     def as_dict(self) -> dict:
+        """Counters as a plain JSON-serialisable mapping."""
+
         return {
             "messages": self.messages,
             "bytes_sent": self.bytes_sent,
@@ -51,6 +75,15 @@ class CommunicationStats:
 
 class SimulatedCommunicator:
     """In-process stand-in for an MPI communicator over *num_ranks* ranks.
+
+    Simulation is one tier of the hierarchy, not the only option: it is the
+    default (``SimulatorConfig(comm="simulated")``), while
+    ``comm="process"`` swaps in real inter-rank data movement through
+    :class:`~repro.distributed.process_comm.ProcessCommunicator`, and an
+    ``mpi4py``-backed :class:`RankCommunicator` would span nodes the same
+    way.  This class also doubles as the parent-side aggregate *stats sink*
+    of a ranked run (the executor folds real per-endpoint counters into
+    :attr:`stats` via :func:`aggregate_rank_stats`).
 
     Parameters
     ----------
@@ -81,6 +114,8 @@ class SimulatedCommunicator:
 
     @property
     def num_ranks(self) -> int:
+        """Number of simulated ranks the traffic model spans."""
+
         return self._num_ranks
 
     @property
@@ -153,3 +188,121 @@ class SimulatedCommunicator:
 
         self.stats.reset()
         self._modelled_seconds = 0.0
+
+
+class RankCommunicator(abc.ABC):
+    """Payload-carrying communicator interface of one rank (MPI subset).
+
+    One instance is *one endpoint*: it knows its own ``rank``, the total
+    ``num_ranks``, and moves real bytes.  This is the surface a future
+    ``mpi4py`` communicator implements unchanged
+    (``sendrecv_bytes`` → ``MPI.Comm.sendrecv``, ``allreduce_sum`` →
+    ``MPI.Comm.allreduce``, ``barrier`` → ``MPI.Comm.Barrier``); the
+    shared-memory implementation for single-node multi-process runs is
+    :class:`~repro.distributed.process_comm.ProcessCommunicator`.
+
+    Every endpoint accounts its own traffic in :attr:`stats` (what *this*
+    rank sent) and its blocking time in :attr:`op_seconds`;
+    :func:`aggregate_rank_stats` folds the per-endpoint counters onto the
+    :class:`SimulatedCommunicator` conventions.
+    """
+
+    @property
+    @abc.abstractmethod
+    def rank(self) -> int:
+        """This endpoint's rank index in ``[0, num_ranks)``."""
+
+    @property
+    @abc.abstractmethod
+    def num_ranks(self) -> int:
+        """Total number of ranks in the communicator."""
+
+    @property
+    @abc.abstractmethod
+    def stats(self) -> CommunicationStats:
+        """Traffic counters for operations initiated by this endpoint."""
+
+    @property
+    @abc.abstractmethod
+    def op_seconds(self) -> dict:
+        """Measured wall-clock seconds this endpoint spent blocked per
+        operation kind (``"exchange"``, ``"allreduce"``, ``"barrier"``)."""
+
+    @abc.abstractmethod
+    def sendrecv_bytes(self, peer: int, payload: bytes) -> bytes:
+        """Simultaneously send *payload* to *peer* and receive its payload.
+
+        This is the symmetric block exchange of Section 3.3 (third bullet):
+        both ranks of a pair call it with matching *peer* arguments and each
+        returns the bytes the other sent.  Blocking; deadlock-free as long as
+        both sides of the pair participate.
+
+        Parameters
+        ----------
+        peer:
+            The partner rank.
+        payload:
+            Bytes to ship (a compressed block, plus any framing the caller
+            adds).
+
+        Returns
+        -------
+        bytes
+            The partner's payload.
+        """
+
+    @abc.abstractmethod
+    def allreduce_sum(self, value: float) -> float:
+        """Sum one scalar contribution per rank across all ranks.
+
+        Every rank passes its local partial (e.g. its slice's Σ|a|²) and
+        every rank returns the identical global sum, exactly like
+        ``MPI_Allreduce(MPI_SUM)``.  The summation order is deterministic
+        (ascending rank), so all endpoints return bit-identical floats.
+        """
+
+    @abc.abstractmethod
+    def barrier(self) -> None:
+        """Block until every rank has entered the barrier."""
+
+
+def aggregate_rank_stats(
+    per_rank: Iterable[Mapping[str, int] | CommunicationStats],
+) -> CommunicationStats:
+    """Fold per-endpoint :class:`RankCommunicator` counters into one view.
+
+    A real communicator counts at each endpoint: a symmetric exchange of
+    ``n`` bytes is *one* ``exchanges`` tick, *one* message and ``n`` bytes on
+    **each** of the two endpoints, and every rank of a collective counts it
+    once.  The shared :class:`SimulatedCommunicator` instead counts each
+    pairwise exchange once (2 messages, ``2n`` bytes) and each collective
+    once.  This helper maps the first convention onto the second — messages
+    and bytes are summed (each endpoint counted what it physically sent),
+    ``exchanges`` is halved (two endpoints per pairwise exchange), and
+    collective counts take the maximum across ranks (every rank participated
+    in the same collectives) — so reports and conformance tests can compare a
+    real run against a simulated one field by field.
+
+    Parameters
+    ----------
+    per_rank:
+        One :class:`CommunicationStats` (or its ``as_dict()`` mapping) per
+        rank.
+
+    Returns
+    -------
+    CommunicationStats
+        The aggregate, in :class:`SimulatedCommunicator` conventions.
+    """
+
+    total = CommunicationStats()
+    endpoint_exchanges = 0
+    for entry in per_rank:
+        data = entry.as_dict() if isinstance(entry, CommunicationStats) else entry
+        total.messages += int(data["messages"])
+        total.bytes_sent += int(data["bytes_sent"])
+        endpoint_exchanges += int(data["exchanges"])
+        total.allreduces = max(total.allreduces, int(data["allreduces"]))
+        total.barriers = max(total.barriers, int(data["barriers"]))
+    total.exchanges = endpoint_exchanges // 2
+    return total

@@ -39,6 +39,8 @@ class BlockTask:
 
     @property
     def buffers(self) -> tuple[tuple[int, int], ...]:
+        """The (rank, block) buffers this task stages (one or two)."""
+
         if self.second is None:
             return (self.first,)
         return (self.first, self.second)
@@ -57,6 +59,8 @@ class GatePlan:
 
     @property
     def touched_buffers(self) -> int:
+        """Total buffer stagings the plan implies (cache misses pay these)."""
+
         return sum(len(task.buffers) for task in self.tasks)
 
     def independent_groups(self) -> tuple[tuple[BlockTask, ...], ...]:

@@ -104,6 +104,8 @@ class Partition:
 
     @property
     def total_blocks(self) -> int:
+        """Blocks across all ranks (``nb * r``)."""
+
         return self.blocks_per_rank * self.num_ranks
 
     @property
@@ -194,6 +196,8 @@ class Partition:
         return rank, block, offset
 
     def rank_of(self, global_index: int) -> int:
+        """The rank owning a global amplitude index."""
+
         return self.locate(global_index)[0]
 
     # -- pair enumeration ---------------------------------------------------------------

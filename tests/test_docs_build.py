@@ -1,0 +1,74 @@
+"""The documentation site builds clean (strict mode) as part of tier-1.
+
+CI has a dedicated ``docs-build`` job, but building here too means a broken
+docstring, nav entry or internal link fails the fast suite a developer
+actually runs.  The builder is exercised the same way CI invokes it —
+``--strict`` (warnings are errors) into a throwaway directory.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BUILDER = REPO_ROOT / "docs" / "build_docs.py"
+
+
+@pytest.fixture(scope="module")
+def build_docs():
+    spec = importlib.util.spec_from_file_location("build_docs", BUILDER)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_strict_build_succeeds(build_docs, tmp_path):
+    assert build_docs.build(tmp_path, strict=True) == 0
+    # The nav-declared pages plus the generated API reference all exist.
+    for page in ("index.html", "architecture.html", "distributed.html",
+                 "figures.html", "migration.html", "api/index.html",
+                 "api/distributed.html", "style.css"):
+        assert (tmp_path / page).exists(), page
+
+
+def test_enforced_surfaces_are_fully_documented(build_docs, tmp_path):
+    build_docs.build(tmp_path, strict=True)
+    for page in ("api/backends.html", "api/distributed.html"):
+        text = (tmp_path / page).read_text()
+        assert "Undocumented" not in text, f"{page} has undocumented symbols"
+
+
+def test_strict_build_catches_broken_links(build_docs, tmp_path, monkeypatch):
+    reporter = build_docs.Reporter(strict=True)
+    pages = {"a.html": ('<a href="missing.html">x</a>', set())}
+    build_docs.check_links(pages, reporter)
+    assert reporter.failed
+    assert "broken internal link" in reporter.warnings[0]
+
+
+def test_markdown_renderer_basics(build_docs):
+    reporter = build_docs.Reporter(strict=True)
+    body, anchors, title = build_docs.render_markdown(
+        "# Title\n\nSome `code` and **bold**.\n\n"
+        "| a | b |\n|---|---|\n| 1 | 2 |\n\n"
+        "- item one\n- item two\n\n"
+        "```python\nx = 1\n```\n",
+        "test.md",
+        reporter,
+    )
+    assert title == "Title"
+    assert "title" in anchors
+    assert "<table>" in body and "<li>" in body
+    assert "<code>code</code>" in body and "<strong>bold</strong>" in body
+    assert not reporter.warnings
+
+
+def test_unclosed_fence_is_flagged(build_docs):
+    reporter = build_docs.Reporter(strict=True)
+    build_docs.render_markdown("```python\nx = 1\n", "bad.md", reporter)
+    assert reporter.failed
+    assert "unclosed code fence" in reporter.warnings[0]

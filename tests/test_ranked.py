@@ -1,0 +1,323 @@
+"""The multi-rank distributed execution tier (``SimulatorConfig.comm="process"``).
+
+The contract under test: a circuit run with the state split over rank worker
+processes — with *real* compressed-blob exchange between ranks — is
+bit-identical to the same circuit on the single-process simulator, and the
+report carries real (not modelled) communication statistics.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+import repro
+from repro.applications import qft_benchmark_circuit
+from repro.backends import PauliObservable
+from repro.circuits import QuantumCircuit, standard_gate
+from repro.core import (
+    CompressedSimulator,
+    SimulatorConfig,
+    WorkerCrashedError,
+    load_checkpoint,
+    save_checkpoint,
+)
+
+NUM_QUBITS = 8
+BLOCK = 16
+
+
+def ranked_config(**overrides) -> SimulatorConfig:
+    defaults = dict(num_ranks=4, block_amplitudes=BLOCK, comm="process")
+    defaults.update(overrides)
+    return SimulatorConfig(**defaults)
+
+
+def entangling_circuit() -> QuantumCircuit:
+    """A QFT-style workload touching the local, block and rank segments."""
+
+    return qft_benchmark_circuit(NUM_QUBITS, seed=3)
+
+
+def final_blobs(simulator) -> list[tuple[bytes, str, float]]:
+    """The compressed state flattened in global (rank-major) block order."""
+
+    return [
+        (entry.blob, entry.compressor, entry.bound)
+        for _key, entry in simulator.state.iter_blocks()
+    ]
+
+
+def run_reference(circuit, **config_overrides):
+    config = SimulatorConfig(
+        num_ranks=1, block_amplitudes=BLOCK, **config_overrides
+    )
+    simulator = CompressedSimulator(NUM_QUBITS, config)
+    simulator.apply_circuit(circuit)
+    return simulator
+
+
+class TestBitIdentity:
+    def test_matches_single_rank_simulator(self):
+        """Acceptance: num_ranks=4 ranked run == single-rank run, bit for bit."""
+
+        circuit = entangling_circuit()
+        reference = run_reference(circuit)
+        with CompressedSimulator(NUM_QUBITS, ranked_config()) as simulator:
+            report = simulator.apply_circuit(circuit)
+            assert np.array_equal(
+                simulator.statevector().view(np.uint64),
+                reference.statevector().view(np.uint64),
+            )
+            # Same block size => same global block boundaries: the final
+            # compressed state must match blob for blob, not just amplitude
+            # for amplitude.
+            assert final_blobs(simulator) == final_blobs(reference)
+            counts = simulator.sample_counts(400, np.random.default_rng(11))
+        assert counts == reference.sample_counts(400, np.random.default_rng(11))
+        assert report.rank_comm is not None
+        assert report.communication_bytes > 0
+
+    def test_matches_simulated_communication_same_ranks(self):
+        """Rank-for-rank parity with the accounting tier (norm included)."""
+
+        circuit = entangling_circuit()
+        simulated = CompressedSimulator(
+            NUM_QUBITS, SimulatorConfig(num_ranks=4, block_amplitudes=BLOCK)
+        )
+        simulated.apply_circuit(circuit)
+        with CompressedSimulator(NUM_QUBITS, ranked_config()) as simulator:
+            simulator.apply_circuit(circuit)
+            assert final_blobs(simulator) == final_blobs(simulated)
+            # Same per-rank summation grouping => bit-identical norm.
+            assert simulator.norm_squared() == simulated.norm_squared()
+
+    def test_fusion_disabled_also_identical(self):
+        circuit = entangling_circuit()
+        reference = run_reference(circuit, fusion_enabled=False)
+        with CompressedSimulator(
+            NUM_QUBITS, ranked_config(fusion_enabled=False)
+        ) as simulator:
+            simulator.apply_circuit(circuit)
+            assert final_blobs(simulator) == final_blobs(reference)
+
+    def test_spawn_matches_fork(self):
+        circuit = entangling_circuit()
+        blobs = {}
+        for method in ("fork", "spawn"):
+            with CompressedSimulator(
+                NUM_QUBITS,
+                ranked_config(num_ranks=2, mp_start_method=method),
+            ) as simulator:
+                simulator.apply_circuit(circuit)
+                blobs[method] = final_blobs(simulator)
+        assert blobs["fork"] == blobs["spawn"]
+
+    def test_escalation_parity_under_memory_budget(self):
+        circuit = entangling_circuit()
+        overrides = dict(memory_budget_bytes=4096, start_lossless=True)
+        reference = CompressedSimulator(
+            NUM_QUBITS,
+            SimulatorConfig(num_ranks=4, block_amplitudes=BLOCK, **overrides),
+        )
+        ref_report = reference.apply_circuit(circuit)
+        with CompressedSimulator(
+            NUM_QUBITS, ranked_config(**overrides)
+        ) as simulator:
+            report = simulator.apply_circuit(circuit)
+            assert ref_report.escalations > 0
+            assert report.escalations == ref_report.escalations
+            assert report.final_error_bound == ref_report.final_error_bound
+            assert final_blobs(simulator) == final_blobs(reference)
+
+
+class TestRealCommunication:
+    def test_report_carries_real_rank_stats(self):
+        circuit = entangling_circuit()
+        with CompressedSimulator(NUM_QUBITS, ranked_config()) as simulator:
+            report = simulator.apply_circuit(circuit)
+            report = simulator.report()
+        per_rank = report.rank_comm
+        assert len(per_rank) == 4
+        # Every rank really exchanged blocks: nonzero bytes at each endpoint.
+        assert all(entry["bytes_sent"] > 0 for entry in per_rank)
+        assert all(entry["exchanges"] > 0 for entry in per_rank)
+        assert all(entry["exchange_seconds"] > 0 for entry in per_rank)
+        # Aggregate view follows the simulated conventions: pairwise
+        # exchanges counted once, bytes summed over endpoints.
+        assert report.block_exchanges == sum(
+            entry["exchanges"] for entry in per_rank
+        ) // 2
+        assert report.communication_bytes == sum(
+            entry["bytes_sent"] for entry in per_rank
+        )
+        assert report.communication_seconds > 0
+        assert report.as_dict()["rank_comm"] == per_rank
+
+    def test_norm_runs_a_real_allreduce(self):
+        with CompressedSimulator(NUM_QUBITS, ranked_config()) as simulator:
+            before = simulator.report().as_dict()["rank_comm"]
+            assert all(entry["allreduces"] == 0 for entry in before)
+            assert simulator.norm_squared() == pytest.approx(1.0)
+            after = simulator.report().rank_comm
+            assert all(entry["allreduces"] == 1 for entry in after)
+
+    def test_local_only_circuit_moves_no_bytes(self):
+        # Every target below the block boundary: no rank-segment gates, so
+        # the ranks never talk (beyond whatever the caller asks for).
+        circuit = QuantumCircuit(NUM_QUBITS)
+        for qubit in range(3):
+            circuit.h(qubit)
+        with CompressedSimulator(NUM_QUBITS, ranked_config()) as simulator:
+            report = simulator.apply_circuit(circuit)
+            assert report.communication_bytes == 0
+            assert report.block_exchanges == 0
+
+
+class TestLifecycle:
+    def test_reset_reproduces_fresh_simulator(self):
+        circuit = entangling_circuit()
+        with CompressedSimulator(NUM_QUBITS, ranked_config()) as simulator:
+            simulator.apply_circuit(circuit)
+            first = final_blobs(simulator)
+
+            def counters(report):
+                return [
+                    {
+                        key: value
+                        for key, value in entry.items()
+                        if not key.endswith("_seconds")
+                    }
+                    for entry in report.rank_comm
+                ]
+
+            first_comm = counters(simulator.report())
+            simulator.reset()
+            # Counters restart with the state.
+            assert simulator.report().communication_bytes == 0
+            assert all(
+                entry["bytes_sent"] == 0 for entry in simulator.report().rank_comm
+            )
+            simulator.apply_circuit(circuit)
+            assert final_blobs(simulator) == first
+            assert counters(simulator.report()) == first_comm
+
+    def test_batched_run_equals_sequential_runs(self):
+        circuits = [entangling_circuit(), entangling_circuit()]
+        config = ranked_config()
+        batch = repro.run(
+            circuits, backend="compressed", shots=100, seed=5, config=config
+        )
+        singles = [
+            repro.run(c, backend="compressed", shots=100, seed=5, config=config)
+            for c in circuits
+        ]
+        # The warm batched session must match... itself run cold; note the
+        # per-circuit seed ladder depends on batch position, so compare the
+        # first circuit only.
+        assert batch[0].counts == singles[0].counts
+        assert batch[0].report["communication_bytes"] == singles[0].report[
+            "communication_bytes"
+        ]
+
+    def test_observables_via_fork(self):
+        circuit = entangling_circuit()
+        observable = PauliObservable("XZIIIIII")
+        ranked = repro.run(
+            circuit,
+            backend="compressed",
+            observables=observable,
+            config=ranked_config(),
+        )
+        reference = repro.run(
+            circuit,
+            backend="compressed",
+            observables=observable,
+            config=SimulatorConfig(num_ranks=4, block_amplitudes=BLOCK),
+        )
+        assert ranked.expectations == reference.expectations
+
+    def test_fork_is_local_and_identical(self):
+        circuit = entangling_circuit()
+        with CompressedSimulator(NUM_QUBITS, ranked_config()) as simulator:
+            simulator.apply_circuit(circuit)
+            clone = simulator.fork()
+            assert clone.config.comm == "simulated"
+            assert clone.config.executor == "thread"
+            assert np.array_equal(
+                clone.statevector().view(np.uint64),
+                simulator.statevector().view(np.uint64),
+            )
+
+    def test_checkpoint_roundtrip(self, tmp_path):
+        circuit = entangling_circuit()
+        path = tmp_path / "ranked.ckpt"
+        with CompressedSimulator(NUM_QUBITS, ranked_config()) as simulator:
+            simulator.apply_circuit(circuit)
+            expected = final_blobs(simulator)
+            save_checkpoint(simulator, path)
+        # Restore into a local simulator...
+        local = load_checkpoint(
+            path, config=SimulatorConfig(num_ranks=4, block_amplitudes=BLOCK)
+        )
+        assert final_blobs(local) == expected
+        # ...and back into a ranked one (blocks stream to their rank owners).
+        with load_checkpoint(path, config=ranked_config()) as resumed:
+            assert final_blobs(resumed) == expected
+
+    def test_close_is_idempotent_and_blocks_further_queries(self):
+        simulator = CompressedSimulator(NUM_QUBITS, ranked_config(num_ranks=2))
+        simulator.close()
+        simulator.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            simulator.statevector()
+
+
+class TestFailureAndValidation:
+    def test_rank_death_is_prompt(self):
+        circuit = entangling_circuit()
+        with CompressedSimulator(NUM_QUBITS, ranked_config()) as simulator:
+            simulator.apply_circuit(circuit)
+            simulator.executor.pool.submit(2, ("die",))
+            start = time.monotonic()
+            with pytest.raises(WorkerCrashedError):
+                simulator.apply_gate(standard_gate("h", NUM_QUBITS - 1))
+            assert time.monotonic() - start < 10.0
+
+    def test_worker_error_drains_outstanding_replies(self):
+        # A handler error on one rank must not leave the other ranks'
+        # queued replies undrained — a later request would mis-unpack a
+        # stale reply (e.g. norm_squared returning a byte count).
+        with CompressedSimulator(NUM_QUBITS, ranked_config()) as simulator:
+            executor = simulator.executor
+            pool = executor.pool or executor._require_pool()
+            pool.submit(0, ("bogus-kind",))
+            pool.submit(1, ("ping",))
+            with pytest.raises(ValueError, match="bogus-kind"):
+                executor._collect(pool, 2, "test dispatch")
+            # The protocol stayed in sync: real collectives still work.
+            assert not pool.has_outstanding()
+            assert simulator.norm_squared() == pytest.approx(1.0)
+
+    def test_comm_process_rejects_other_parallel_tiers(self):
+        with pytest.raises(ValueError, match="comm='process'"):
+            SimulatorConfig(comm="process", executor="process")
+        with pytest.raises(ValueError, match="comm='process'"):
+            SimulatorConfig(comm="process", num_workers=2)
+
+    def test_unknown_comm_rejected(self):
+        with pytest.raises(ValueError, match="comm"):
+            SimulatorConfig(comm="mpi")
+
+    def test_single_rank_process_comm_works(self):
+        # Degenerate but legal: one rank worker, no exchanges possible.
+        circuit = entangling_circuit()
+        reference = run_reference(circuit)
+        with CompressedSimulator(
+            NUM_QUBITS, ranked_config(num_ranks=1)
+        ) as simulator:
+            report = simulator.apply_circuit(circuit)
+            assert final_blobs(simulator) == final_blobs(reference)
+            assert report.communication_bytes == 0
