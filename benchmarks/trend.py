@@ -1,0 +1,209 @@
+"""Per-commit codec benchmark trend tracking (asv-style, dependency-free).
+
+``bench_codec_throughput.py`` writes one ``BENCH_codec.json`` per run; this
+script distills each run into a one-line summary record, appends it to
+``benchmarks/results/TREND.jsonl`` and compares the fresh run against the
+most recent *environment-matched* baseline already in the file.  A decode
+throughput drop of more than ``--threshold`` (default 30%) on any tracked
+series fails the run with exit code 1, so the CI codec-bench job turns a
+silent performance regression into a red build while still recording the
+data point for later inspection.
+
+Environment matching is deliberately strict: a baseline only counts when it
+ran in the same mode (quick vs full), on the same stream sizes and with the
+same engine set — comparing a laptop full run against a throttled CI quick
+run would only produce noise.  When no matched baseline exists the run is
+recorded and passes.
+
+Usage::
+
+    python benchmarks/trend.py                  # append + check
+    python benchmarks/trend.py --check-only     # compare without appending
+    python benchmarks/trend.py --threshold 0.5  # looser gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+DEFAULT_RESULTS = RESULTS_DIR / "BENCH_codec.json"
+DEFAULT_TREND = RESULTS_DIR / "TREND.jsonl"
+DEFAULT_THRESHOLD = 0.30
+
+#: Keys that must agree between two records for a comparison to make sense.
+ENVIRONMENT_KEYS = ("quick", "huffman_symbols", "block_sizes", "engines_available")
+
+
+def current_commit() -> str:
+    """Short hash of the checked-out commit (``"unknown"`` outside git)."""
+
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=Path(__file__).parent,
+        )
+    except OSError:
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def summarise(bench: dict, commit: str, timestamp: str) -> dict:
+    """One flat trend record from a ``BENCH_codec.json`` payload.
+
+    ``decode_mb_s`` carries one series per (codec, block) cell of the
+    throughput matrix; ``huffman_decode_msym_s`` one series per engine.
+    Sections absent from a partial bench run are simply absent here too.
+    """
+
+    meta = bench.get("meta", {})
+    record = {
+        "schema": 1,
+        "commit": commit,
+        "timestamp": timestamp,
+        "quick": bool(meta.get("quick", False)),
+        "huffman_symbols": meta.get("huffman_symbols"),
+        "block_sizes": meta.get("block_sizes"),
+        "available_cpus": meta.get("available_cpus"),
+        "engines_available": None,
+        "decode_mb_s": {},
+        "huffman_decode_msym_s": {},
+    }
+    for row in bench.get("throughput", []):
+        record["decode_mb_s"][f"{row['codec']}@{row['block']}"] = row["decode_mb_s"]
+    if "huffman_speedup" in bench:
+        section = bench["huffman_speedup"]
+        record["huffman_decode_msym_s"]["numpy"] = (
+            section["symbols"] / section["vectorised_seconds"] / 1e6
+        )
+    if "engines" in bench:
+        section = bench["engines"]
+        record["engines_available"] = sorted(section["available"])
+        for engine, metrics in section["results"].items():
+            record["huffman_decode_msym_s"][engine] = metrics[
+                "huffman_decode_msym_s"
+            ]
+    return record
+
+
+def environment_matches(current: dict, candidate: dict) -> bool:
+    """Whether *candidate* ran under comparable conditions to *current*."""
+
+    return all(current.get(key) == candidate.get(key) for key in ENVIRONMENT_KEYS)
+
+
+def find_baseline(entries: list[dict], current: dict) -> dict | None:
+    """The most recent environment-matched record, if any."""
+
+    for candidate in reversed(entries):
+        if environment_matches(current, candidate):
+            return candidate
+    return None
+
+
+def compare(current: dict, baseline: dict, threshold: float) -> list[str]:
+    """Regression messages for every tracked series that dropped too far.
+
+    A series regresses when its current throughput falls below
+    ``baseline * (1 - threshold)``.  Series present in only one record are
+    ignored (new codecs appear, old ones retire — neither is a regression).
+    """
+
+    regressions = []
+    for family in ("decode_mb_s", "huffman_decode_msym_s"):
+        base_series = baseline.get(family, {})
+        for key, value in current.get(family, {}).items():
+            base = base_series.get(key)
+            if base is None or base <= 0:
+                continue
+            if value < base * (1.0 - threshold):
+                drop = 100.0 * (1.0 - value / base)
+                regressions.append(
+                    f"{family}[{key}]: {value:.2f} vs baseline {base:.2f} "
+                    f"from {baseline.get('commit', '?')} (-{drop:.0f}%, "
+                    f"gate {100 * threshold:.0f}%)"
+                )
+    return regressions
+
+
+def load_trend(path: Path) -> list[dict]:
+    """All records in a TREND.jsonl file, oldest first (missing file: [])."""
+
+    if not path.exists():
+        return []
+    entries = []
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if line:
+            entries.append(json.loads(line))
+    return entries
+
+
+def append_record(path: Path, record: dict) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--results", type=Path, default=DEFAULT_RESULTS)
+    parser.add_argument("--trend", type=Path, default=DEFAULT_TREND)
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD)
+    parser.add_argument(
+        "--check-only",
+        action="store_true",
+        help="compare against the baseline without appending a record",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.results.exists():
+        print(f"trend: no benchmark results at {args.results}; run "
+              "bench_codec_throughput.py first", file=sys.stderr)
+        return 2
+    bench = json.loads(args.results.read_text())
+    record = summarise(
+        bench,
+        commit=current_commit(),
+        timestamp=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    )
+
+    entries = load_trend(args.trend)
+    baseline = find_baseline(entries, record)
+    if not args.check_only:
+        # Record the data point even when it regresses: the trend file is the
+        # history, the exit code is the gate.
+        append_record(args.trend, record)
+
+    if baseline is None:
+        print(
+            f"trend: recorded {record['commit']} "
+            f"({len(record['decode_mb_s'])} throughput series); "
+            "no environment-matched baseline yet"
+        )
+        return 0
+
+    regressions = compare(record, baseline, args.threshold)
+    if regressions:
+        print(f"trend: decode throughput regressed vs {baseline['commit']}:")
+        for message in regressions:
+            print(f"  {message}")
+        return 1
+    print(
+        f"trend: {record['commit']} within {100 * args.threshold:.0f}% of "
+        f"baseline {baseline['commit']} on all "
+        f"{len(record['decode_mb_s']) + len(record['huffman_decode_msym_s'])} series"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

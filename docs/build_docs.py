@@ -52,7 +52,12 @@ DEFAULT_OUT = DOCS_DIR / "_site"
 
 #: Packages whose public surface must be fully docstring-covered (the API
 #: sweep of PR 5); a missing docstring here fails the strict build.
-ENFORCED_PACKAGES = ("repro.backends", "repro.core.procpool", "repro.distributed")
+ENFORCED_PACKAGES = (
+    "repro.backends",
+    "repro.compression.engines",
+    "repro.core.procpool",
+    "repro.distributed",
+)
 
 #: One API page per entry: (slug, page title, module names).
 API_SECTIONS = [
@@ -69,6 +74,8 @@ API_SECTIONS = [
         "repro.compression.fpzip_like", "repro.compression.reshuffle",
         "repro.compression.huffman", "repro.compression.bitpack",
         "repro.compression.quantization", "repro.compression.metrics",
+        "repro.compression.engines", "repro.compression.engines.numpy_engine",
+        "repro.compression.engines.numba_engine",
     ]),
     ("distributed", "repro.distributed", [
         "repro.distributed", "repro.distributed.partition",

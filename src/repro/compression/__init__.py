@@ -6,6 +6,13 @@ in :mod:`repro.compression.interface`, so ``get_compressor("C", bound=1e-3)``
 works immediately.
 """
 
+from .engines import (
+    DEFAULT_ENGINE,
+    KNOWN_ENGINES,
+    EngineFallbackWarning,
+    available_engines,
+    get_engine,
+)
 from .interface import (
     PAPER_ERROR_LEVELS,
     CompressionRecord,
@@ -24,9 +31,15 @@ from .xor_bitplane import XorBitplaneCompressor
 from .reshuffle import ReshuffleCompressor
 from .zfp_like import ZFPLikeCompressor
 from .fpzip_like import FPZIPLikeCompressor, PAPER_PRECISION_MAP
-from . import bitplane, huffman, metrics, quantization
+from . import bitplane, engines, huffman, metrics, quantization
 
 __all__ = [
+    "DEFAULT_ENGINE",
+    "KNOWN_ENGINES",
+    "EngineFallbackWarning",
+    "available_engines",
+    "get_engine",
+    "engines",
     "Compressor",
     "CompressorError",
     "CompressionRecord",

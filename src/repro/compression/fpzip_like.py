@@ -65,7 +65,13 @@ class FPZIPLikeCompressor(Compressor):
 
     name = "fpzip"
 
-    def __init__(self, precision: int = 22, backend: str = "zlib", level: int = 6) -> None:
+    def __init__(
+        self,
+        precision: int = 22,
+        backend: str = "zlib",
+        level: int = 6,
+        engine: str | None = None,
+    ) -> None:
         if not 4 <= precision <= 64:
             raise CompressorError("FPZIP precision must be in [4, 64]")
         bound = _precision_to_bound(precision)
@@ -76,6 +82,10 @@ class FPZIPLikeCompressor(Compressor):
         self._precision = int(precision)
         self._backend = backend
         self._level = int(level)
+        # No engine-backed hot loop (byte-matrix slicing + stdlib codec), but
+        # the parameter is accepted, validated and pickled so the registry's
+        # uniform `get_compressor(name, engine=...)` plumbing works here too.
+        self._set_engine(engine)
 
     def __getstate__(self) -> dict:
         # Constructor arguments only (cheap process-pool pickling); mode and
@@ -84,6 +94,7 @@ class FPZIPLikeCompressor(Compressor):
             "precision": self._precision,
             "backend": self._backend,
             "level": self._level,
+            "engine": self._engine_name,
         }
 
     def __setstate__(self, state: dict) -> None:

@@ -5,106 +5,43 @@ the quantization codes with Huffman coding before the final lossless pass.
 This module provides a small, self-contained canonical-Huffman implementation
 used by :mod:`repro.compression.sz` and :mod:`repro.compression.sz_complex`.
 
-Both directions are fully vectorised; no Python loop runs over symbols or
-bits of a stream.
-
-* **Encoding** maps symbols to canonical code words through a table and packs
-  them with :func:`repro.compression.bitpack.pack_bitfields` (one
-  ``np.repeat`` fan-out plus ``np.packbits``).
-* **Decoding** is table-driven: a lookup table over
-  :data:`DECODE_WINDOW_BITS`-bit windows maps every window to the code it
-  starts with (symbol index + code length), with a slow-path escape for codes
-  longer than the window resolved by binary search over the left-justified
-  canonical code values.  The serial dependency of Huffman decoding — a
-  code's start position depends on every previous code length — is broken in
-  three vectorised stages:
-
-  1. code *lengths* are resolved at every bit offset of the stream at once
-     (most offsets are garbage that no real code chain ever visits; that is
-     fine, they are never read),
-  2. ``log2(chunk)`` rounds of jump-table composition turn "advance one
-     code" into "advance one chunk of codes", giving the bit offset of every
-     chunk's first code via a short anchor ladder, and
-  3. all chunks are decoded in lock-step (a wavefront of one gather per code
-     *slot*, not per code), so the Python-level iteration count is the fixed
-     chunk width, independent of the stream length.
+The codec owns the *format*: code-book construction, canonicalisation, wire
+(de)serialisation and code-book validation.  The hot loops — packing the
+variable-width code words on encode and walking the bit stream on decode —
+are delegated to a pluggable kernel engine
+(:mod:`repro.compression.engines`): the default ``"numpy"`` engine runs the
+table-driven vectorised decoder (window lookup table + jump composition +
+anchor-ladder wavefront), the optional ``"numba"`` engine runs the
+naturally-sequential loop as JIT-compiled machine code.  Both produce
+bit-identical streams; select one with ``HuffmanCodec(engine=...)``.
 
 The wire format is unchanged from the seed implementation: little-endian
 ``count`` / code book (symbols + lengths) / ``total_bits`` / MSB-first packed
-code stream.  Blobs produced by either implementation decode identically
-with the other.
+code stream.  Blobs produced by any engine decode identically with every
+other.
 """
 
 from __future__ import annotations
 
 import heapq
 import struct
-import threading
 from dataclasses import dataclass
 
 import numpy as np
 
-from .bitpack import pack_bitfields
+from .engines import CodecEngine, engine_name, resolve_engine
 from .interface import CompressorError
 
 __all__ = ["HuffmanCodec", "encode", "decode", "DECODE_WINDOW_BITS"]
 
-#: Width (bits) of the decoder's window lookup table.  Codes no longer than
-#: this resolve with one table gather; rarer, longer codes take the
+#: Width (bits) of the numpy engine's window lookup table.  Codes no longer
+#: than this resolve with one table gather; rarer, longer codes take the
 #: searchsorted slow path.  2^W table entries are built per decode call; 16
 #: is the widest window a uint16 table index supports and keeps the
 #: slow-path fraction negligible even for the wide-alphabet books SZ's
 #: 65536-bin quantization produces (the table is clamped to the book's
 #: maximum code length, so small books build small tables).
 DECODE_WINDOW_BITS = 16
-
-#: Symbols decoded per chunk by the wavefront (must be a power of two).  The
-#: anchor ladder runs ``ceil(count / chunk)`` Python iterations and the
-#: wavefront ``chunk`` iterations; jump composition needs ``log2(chunk)``
-#: passes over the bit-offset table.  The composition passes stream through
-#: memory proportional to the *bit* length of the stream, the ladder costs a
-#: couple hundred nanoseconds per chunk — 4 symbols per chunk balances the
-#: two on block-sized streams.
-_CHUNK_LOG2 = 2
-
-
-_ARANGE_CACHE = np.zeros(0, dtype=np.int64)
-
-
-def _cached_arange(size: int) -> np.ndarray:
-    """Grow-only cached ``np.arange(size)`` slice.
-
-    Decode is called once per block, and the arange is the same every time —
-    caching it saves one full allocation + fill pass per call.  The cache is
-    only ever swapped for a larger array (an atomic rebind under the GIL), so
-    concurrent decodes on executor threads each see a consistent array.
-    """
-
-    global _ARANGE_CACHE
-    if _ARANGE_CACHE.size < size:
-        _ARANGE_CACHE = np.arange(max(size, 2 * _ARANGE_CACHE.size), dtype=np.int64)
-    return _ARANGE_CACHE[:size]
-
-
-_SCRATCH = threading.local()
-
-
-def _scratch(name: str, size: int, dtype: np.dtype) -> np.ndarray:
-    """Grow-only per-thread scratch buffer (uninitialised).
-
-    The decoder's big flat work arrays are the same shape on every call for a
-    given block size; reusing them avoids an allocation plus a page-fault
-    pass per call.  Thread-local storage keeps concurrent decodes on
-    :class:`~repro.core.executor.TaskExecutor` worker threads independent.
-    """
-
-    buffers = getattr(_SCRATCH, "buffers", None)
-    if buffers is None:
-        buffers = _SCRATCH.buffers = {}
-    buf = buffers.get(name)
-    if buf is None or buf.size < size or buf.dtype != dtype:
-        buf = buffers[name] = np.empty(max(size, 1024), dtype=dtype)
-    return buf[:size]
 
 
 @dataclass
@@ -174,99 +111,47 @@ def _canonicalize(symbols: np.ndarray, lengths: np.ndarray) -> _CodeBook:
     return _CodeBook(symbols=symbols, lengths=lengths, codes=codes)
 
 
-def _window_table(book: _CodeBook, window_bits: int) -> tuple[np.ndarray, np.ndarray]:
-    """Lookup table over every *window_bits*-bit window.
-
-    ``table_idx[w]`` is the book index of the code that the window ``w``
-    starts with (or ``book.symbols.size`` as an invalid/escape sentinel) and
-    ``table_len[w]`` its code length (0 for the sentinel).  Canonical codes
-    of length <= W tile the window space contiguously from 0, so the table is
-    two ``np.repeat`` fills.
-    """
-
-    n = book.symbols.size
-    lengths = book.lengths.astype(np.int64)
-    short = int(np.searchsorted(lengths, window_bits, side="right"))
-    spans = np.int64(1) << (window_bits - lengths[:short])
-    covered = int(spans.sum())
-    table_idx = np.full(1 << window_bits, n, dtype=np.int32)
-    table_len = np.zeros(1 << window_bits, dtype=np.uint8)
-    table_idx[:covered] = np.repeat(np.arange(short, dtype=np.int32), spans)
-    table_len[:covered] = np.repeat(book.lengths[:short], spans)
-    return table_idx, table_len
-
-
-def _windows_at_every_offset(
-    padded: np.ndarray, num_bytes: int, total_bits: int, window_bits: int
-) -> np.ndarray:
-    """The *window_bits*-bit window starting at every bit offset of a stream.
-
-    Built from a 24-bit sliding read per byte and eight strided shifts (one
-    per sub-byte phase — a fixed 8 iterations regardless of stream length).
-    """
-
-    b = padded.astype(np.uint32)
-    wide = (b[:num_bytes] << 16) | (b[1 : num_bytes + 1] << 8) | b[2 : num_bytes + 2]
-    mask = np.uint32((1 << window_bits) - 1)
-    windows = _scratch("windows", num_bytes * 8, np.uint16).reshape(num_bytes, 8)
-    for phase in range(8):  # eight bit phases within a byte, not stream-sized
-        windows[:, phase] = (wide >> np.uint32(24 - window_bits - phase)) & mask
-    return windows.reshape(-1)[:total_bits]
-
-
-def _windows64(padded: np.ndarray, positions: np.ndarray) -> np.ndarray:
-    """Left-justified 64-bit windows at the given bit *positions*."""
-
-    byte_idx = positions >> 3
-    shift = (positions & 7).astype(np.uint64)
-    hi = np.zeros(positions.size, dtype=np.uint64)
-    for j in range(8):  # eight bytes of a 64-bit window, not stream-sized
-        hi = (hi << np.uint64(8)) | padded[byte_idx + j].astype(np.uint64)
-    spill = padded[byte_idx + 8].astype(np.uint64)
-    return np.where(
-        shift == 0, hi, (hi << shift) | (spill >> (np.uint64(8) - shift))
-    )
-
-
-def _resolve_long_codes(
-    padded: np.ndarray,
-    positions: np.ndarray,
-    book: _CodeBook,
-    left_justified64: np.ndarray,
-) -> tuple[np.ndarray, np.ndarray]:
-    """Slow-path escape: codes longer than the window, via binary search.
-
-    Canonical codes are lexicographically ordered when left-justified, so the
-    code starting at a bit position is found by ``searchsorted`` of the
-    position's 64-bit window against the left-justified code values.
-    Returns ``(book index, code length)`` with the sentinel
-    ``(book.symbols.size, 0)`` where no code matches (garbage offsets).
-    """
-
-    n = book.symbols.size
-    win64 = _windows64(padded, positions)
-    idx = np.searchsorted(left_justified64, win64, side="right") - 1
-    idx = np.maximum(idx, 0)
-    code_len = book.lengths[idx].astype(np.uint64)
-    matches = (win64 >> (np.uint64(64) - code_len)) == book.codes[idx]
-    return (
-        np.where(matches, idx, n).astype(np.int32),
-        np.where(matches, code_len, 0).astype(np.uint8),
-    )
-
-
 class HuffmanCodec:
-    """Encode/decode int64 symbol arrays with canonical Huffman codes."""
+    """Encode/decode int64 symbol arrays with canonical Huffman codes.
 
-    def __init__(self, window_bits: int = DECODE_WINDOW_BITS) -> None:
+    Parameters
+    ----------
+    window_bits:
+        Width of the numpy engine's decode lookup table (ignored by other
+        engines; the decoded stream never depends on it).
+    engine:
+        Kernel engine for the hot loops — an engine name from
+        :data:`repro.compression.engines.KNOWN_ENGINES`, an already-resolved
+        :class:`~repro.compression.engines.CodecEngine`, or ``None`` for the
+        default.
+    """
+
+    def __init__(
+        self,
+        window_bits: int = DECODE_WINDOW_BITS,
+        engine: str | CodecEngine | None = None,
+    ) -> None:
         if not 1 <= window_bits <= 16:
             raise CompressorError("window_bits must be in [1, 16]")
         self._window_bits = window_bits
+        self._engine_name = engine_name(engine)
+        self._engine_impl = resolve_engine(engine)
+
+    @property
+    def engine(self) -> str:
+        """The *requested* engine name (``"numpy"`` when none was given).
+
+        Deliberately the requested name, not the resolved one: a codec pickled
+        with ``engine="numba"`` on a host without numba re-resolves — and gets
+        the real numba engine — when unpickled on a worker that has it.
+        """
+
+        return self._engine_name
 
     def __getstate__(self) -> dict:
         # Constructor arguments only (cheap process-pool pickling); decode
         # tables are always built per call, never held on the instance.
-        return {"window_bits": self._window_bits}
+        return {"window_bits": self._window_bits, "engine": self._engine_name}
 
     def __setstate__(self, state: dict) -> None:
         self.__init__(**state)
@@ -289,7 +174,7 @@ class HuffmanCodec:
         sym_order = np.argsort(book.symbols)
         sorted_syms = book.symbols[sym_order]
         positions = sym_order[np.searchsorted(sorted_syms, symbols)]
-        packed, total_bits = pack_bitfields(
+        packed, total_bits = self._engine_impl.pack_bitfields(
             book.codes[positions], book.lengths[positions].astype(np.int64)
         )
 
@@ -349,105 +234,9 @@ class HuffmanCodec:
     def _decode_stream(
         self, packed: np.ndarray, total_bits: int, count: int, book: _CodeBook
     ) -> np.ndarray:
-        n = book.symbols.size
-        max_len = int(book.lengths[-1])
-        window_bits = min(self._window_bits, max_len)
-        table_idx, table_len = _window_table(book, window_bits)
-        has_long_codes = max_len > window_bits
-        left_justified64 = (
-            book.codes << (np.uint64(64) - book.lengths.astype(np.uint64))
-            if has_long_codes
-            else None
+        flat_idx = self._engine_impl.huffman_decode_indices(
+            packed, total_bits, count, book.lengths, book.codes, self._window_bits
         )
-
-        num_bytes = (total_bits + 7) // 8
-        padded = np.concatenate(
-            [packed[:num_bytes], np.zeros(9, dtype=np.uint8)]
-        )
-        windows = _windows_at_every_offset(padded, num_bytes, total_bits, window_bits)
-
-        # Code length at every bit offset; garbage offsets (no real code
-        # starts there) get whatever code their bits happen to spell, which
-        # is harmless — the composed jumps below are only ever *read* along
-        # the one chain of true code starts.
-        bit_len = table_len[windows]
-        if has_long_codes:
-            escapes = np.flatnonzero(bit_len == 0)
-            if escapes.size:
-                _, esc_len = _resolve_long_codes(
-                    padded, escapes, book, left_justified64
-                )
-                bit_len[escapes] = esc_len
-
-        chunk_log2 = min(_CHUNK_LOG2, max(count - 1, 1).bit_length())
-        chunk = 1 << chunk_log2
-        num_chunks = -(-count // chunk)
-
-        # Stage 2: jump composition.  jump[p] = bits advanced by decoding
-        # 2^r codes starting at offset p; doubled log2(chunk) times.  The
-        # reads are near-sequential (each offset looks at most
-        # chunk * max_len bits ahead), so these passes stream through memory:
-        # each round is one add into an int64 index buffer, one gather, one
-        # in-place add.  The pad region past the stream (ones, then a zero
-        # tail one maximum-jump wide) absorbs every overshooting read, so no
-        # index ever needs clamping: composed jumps are bounded by
-        # chunk * max_len and pad jumps collapse onto the zero tail.
-        pad_bits = chunk * max(64, max_len) + 64
-        # Composed jumps are bounded by chunk * max_len, so they almost
-        # always fit uint8 — a quarter of the int32 traffic per pass.
-        jump_dtype = np.uint8 if chunk * max_len <= 255 else np.int32
-        jump = _scratch("jump", total_bits + pad_bits, jump_dtype)
-        np.maximum(bit_len, 1, out=jump[:total_bits], casting="unsafe")
-        jump[total_bits:-64] = 1
-        jump[-64:] = 0
-        anchors = np.zeros(num_chunks, dtype=np.int64)
-        if num_chunks > 1:
-            offsets = _cached_arange(jump.size)
-            target = _scratch("target", jump.size, np.int64)
-            for _ in range(chunk_log2):  # log2(chunk) composition rounds
-                np.add(offsets, jump, out=target)
-                jump += jump[target]
-            # Anchor ladder: one Python step per *chunk* of decoded symbols.
-            jump_at = jump.item
-            position = 0
-            for k in range(1, num_chunks):
-                position += jump_at(position)
-                anchors[k] = position
-            if anchors[-1] >= total_bits:
-                raise CompressorError("Huffman stream exhausted prematurely")
-
-        # Stage 3: wavefront — decode every chunk in lock-step; the loop runs
-        # `chunk` times however long the stream is.
-        idx_rows = np.empty((chunk, num_chunks), dtype=np.int32)
-        cursor = anchors
-        limit = total_bits - 1
-        last_lane = (count - 1) // chunk
-        last_slot = (count - 1) % chunk
-        last_pos = 0
-        for t in range(chunk):  # fixed chunk width, independent of count
-            safe = np.minimum(cursor, limit)
-            w = windows[safe]
-            ids = table_idx[w]
-            lens = table_len[w]
-            if has_long_codes:
-                miss = np.flatnonzero(ids == n)
-                if miss.size:
-                    esc_idx, esc_len = _resolve_long_codes(
-                        padded, safe[miss], book, left_justified64
-                    )
-                    ids[miss] = esc_idx
-                    lens[miss] = esc_len
-            idx_rows[t] = ids
-            if t == last_slot:
-                last_pos = int(cursor[last_lane])
-            cursor = cursor + lens
-        flat_idx = idx_rows.T.reshape(-1)[:count]
-
-        last_idx = int(flat_idx[-1])
-        if last_idx == n or last_pos + int(book.lengths[last_idx]) > total_bits:
-            raise CompressorError("Huffman stream exhausted prematurely")
-        if (flat_idx == n).any():
-            raise CompressorError("invalid Huffman stream (no code matches)")
         return book.symbols[flat_idx]
 
 

@@ -81,6 +81,30 @@ class Compressor(abc.ABC):
         self._mode = mode
         self._bound = float(bound)
 
+    # -- codec kernel engine ------------------------------------------------------
+
+    def _set_engine(self, engine=None) -> None:
+        """Resolve and record the codec kernel engine (``engine=`` argument).
+
+        Subclasses with engine-backed hot loops call this from their
+        constructor; the resolved implementation lands on
+        ``self._engine_impl`` and the *requested* name on
+        ``self._engine_name`` (what :meth:`engine` reports and what pickling
+        must preserve).  Imported lazily because :mod:`.engines` imports this
+        module.
+        """
+
+        from .engines import engine_name, resolve_engine
+
+        self._engine_name = engine_name(engine)
+        self._engine_impl = resolve_engine(engine)
+
+    @property
+    def engine(self) -> str:
+        """Requested codec engine name (``"numpy"`` when none was given)."""
+
+        return getattr(self, "_engine_name", "numpy")
+
     # -- declared error control -------------------------------------------------
 
     @property

@@ -83,12 +83,18 @@ class LosslessCompressor(Compressor):
 
     name = "lossless"
 
-    def __init__(self, backend: str = "zlib", level: int = 6) -> None:
+    def __init__(
+        self, backend: str = "zlib", level: int = 6, engine: str | None = None
+    ) -> None:
         super().__init__(ErrorBoundMode.LOSSLESS, 0.0)
         if backend not in _BACKENDS:
             raise CompressorError(f"unknown lossless backend {backend!r}")
         self._backend = backend
         self._level = int(level)
+        # No engine-backed hot loop (the stdlib codecs do all the work), but
+        # the parameter is accepted, validated and pickled so the registry's
+        # uniform `get_compressor(name, engine=...)` plumbing works here too.
+        self._set_engine(engine)
 
     @property
     def backend(self) -> str:
@@ -98,7 +104,11 @@ class LosslessCompressor(Compressor):
         # Constructor arguments only: pickling a codec must stay cheap and
         # stable so process-pool workers can receive instances per task
         # (see repro.core.procpool); derived state is rebuilt on unpickle.
-        return {"backend": self._backend, "level": self._level}
+        return {
+            "backend": self._backend,
+            "level": self._level,
+            "engine": self._engine_name,
+        }
 
     def __setstate__(self, state: dict) -> None:
         self.__init__(**state)

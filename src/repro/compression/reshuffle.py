@@ -60,9 +60,18 @@ class ReshuffleCompressor(Compressor):
 
     name = "reshuffle"
 
-    def __init__(self, bound: float = 1e-3, backend: str = "zlib", level: int = 6) -> None:
+    def __init__(
+        self,
+        bound: float = 1e-3,
+        backend: str = "zlib",
+        level: int = 6,
+        engine: str | None = None,
+    ) -> None:
         super().__init__(ErrorBoundMode.RELATIVE, bound)
-        self._inner = XorBitplaneCompressor(bound=bound, backend=backend, level=level)
+        self._set_engine(engine)
+        self._inner = XorBitplaneCompressor(
+            bound=bound, backend=backend, level=level, engine=self._engine_impl
+        )
 
     def __getstate__(self) -> dict:
         # Constructor arguments only (cheap process-pool pickling); the
@@ -71,6 +80,7 @@ class ReshuffleCompressor(Compressor):
             "bound": self.bound,
             "backend": self._inner._backend,
             "level": self._inner._level,
+            "engine": self._engine_name,
         }
 
     def __setstate__(self, state: dict) -> None:

@@ -31,6 +31,7 @@ import struct
 import numpy as np
 
 from . import huffman, quantization
+from .engines import CodecEngine, resolve_engine
 from .interface import (
     Compressor,
     CompressorError,
@@ -61,15 +62,18 @@ def compress_absolute_stream(
     max_bins: int,
     backend: str,
     level: int,
+    engine: str | CodecEngine | None = None,
 ) -> bytes:
     """Compress a float64 stream under an absolute error bound.
 
     Returns a payload (without the outer header) containing the Huffman-coded
     bounded delta codes, the escape positions and raw values, all passed
-    through the lossless backend.
+    through the lossless backend.  ``engine`` selects the kernel engine for
+    quantization and Huffman packing (every engine emits the same bytes).
     """
 
-    codes = quantization.quantize(array, bound)
+    impl = resolve_engine(engine)
+    codes = impl.sz_quantize(array, bound)
     deltas = np.empty_like(codes)
     if codes.size:
         deltas[0] = codes[0]
@@ -85,7 +89,7 @@ def compress_absolute_stream(
     bounded = np.where(predictable, deltas, half_bins)  # escape symbol
     escape_values = array[~predictable]
 
-    huff_blob = huffman.encode(bounded.astype(np.int64))
+    huff_blob = huffman.HuffmanCodec(engine=impl).encode(bounded.astype(np.int64))
     escape_blob = escape_values.astype("<f8").tobytes()
 
     payload = (
@@ -98,16 +102,19 @@ def compress_absolute_stream(
 
 
 def decompress_absolute_stream(
-    blob: bytes, count: int, backend: str
+    blob: bytes, count: int, backend: str, engine: str | CodecEngine | None = None
 ) -> np.ndarray:
     """Inverse of :func:`compress_absolute_stream`."""
 
+    impl = resolve_engine(engine)
     payload = lossless_decompress_bytes(blob, backend)
     bound, max_bins, num_escapes = struct.unpack_from("<dIQ", payload, 0)
     offset = struct.calcsize("<dIQ")
     (huff_len,) = struct.unpack_from("<Q", payload, offset)
     offset += 8
-    bounded = huffman.decode(payload[offset : offset + huff_len])
+    bounded = huffman.HuffmanCodec(engine=impl).decode(
+        payload[offset : offset + huff_len]
+    )
     offset += huff_len
     escape_values = np.frombuffer(
         payload, dtype="<f8", count=num_escapes, offset=offset
@@ -118,34 +125,15 @@ def decompress_absolute_stream(
             f"SZ stream decoded {bounded.size} codes, expected {count}"
         )
     half_bins = max_bins // 2
-    is_escape = bounded == half_bins
-
-    # Rebuild grid codes.  Every escape re-anchors the running sum on its own
-    # quantized code, so the reconstruction is one global cumulative sum of
-    # the deltas (with escape deltas zeroed) plus a per-segment offset: for
-    # the segment after escape k the offset is the escape's code minus the
-    # cumulative sum at its anchor.  The offsets broadcast to positions with
-    # one np.repeat over the segment lengths — no loop over segments.
-    escape_indices = np.flatnonzero(is_escape)
+    escape_indices = np.flatnonzero(bounded == half_bins)
     if escape_indices.size != num_escapes:
         raise CompressorError(
             f"SZ stream decoded {escape_indices.size} escapes, "
             f"header claims {num_escapes}"
         )
-    codes = np.where(is_escape, 0, bounded)
-    np.cumsum(codes, out=codes)
-    if escape_indices.size:
-        escape_codes = quantization.quantize(escape_values, bound)
-        segment_offsets = escape_codes - codes[escape_indices]
-        segment_lengths = np.diff(escape_indices, append=count)
-        # Positions before the first escape keep the plain cumulative sum
-        # (offset 0), exactly as the seed's sequential walk did.
-        codes[escape_indices[0] :] += np.repeat(segment_offsets, segment_lengths)
-
-    values = quantization.dequantize(codes, bound)
-    if num_escapes:
-        values[escape_indices] = escape_values
-    return values
+    # Rebuilding grid codes from bounded deltas + escape anchors is one of
+    # the engine hot loops (cumsum + per-segment re-anchoring + dequantize).
+    return impl.sz_reconstruct(bounded, escape_indices, escape_values, bound)
 
 
 # ---------------------------------------------------------------------------
@@ -165,6 +153,10 @@ class SZCompressor(Compressor):
         (default relative, which is what the simulator uses).
     max_bins:
         Maximum number of quantization bins (65536 in SZ 2.1).
+    engine:
+        Kernel engine for the hot loops (``"numpy"``, ``"numba"`` or a
+        resolved :class:`~repro.compression.engines.CodecEngine`); all
+        engines are blob-for-blob identical.
     """
 
     name = "sz"
@@ -176,6 +168,7 @@ class SZCompressor(Compressor):
         max_bins: int = DEFAULT_QUANTIZATION_BINS,
         backend: str = "zlib",
         level: int = 6,
+        engine: str | CodecEngine | None = None,
     ) -> None:
         if mode is ErrorBoundMode.LOSSLESS:
             raise CompressorError("SZ is a lossy compressor; use LosslessCompressor")
@@ -185,6 +178,7 @@ class SZCompressor(Compressor):
         self._max_bins = int(max_bins)
         self._backend = backend
         self._level = int(level)
+        self._set_engine(engine)
 
     @property
     def max_bins(self) -> int:
@@ -198,6 +192,7 @@ class SZCompressor(Compressor):
             "max_bins": self._max_bins,
             "backend": self._backend,
             "level": self._level,
+            "engine": self._engine_name,
         }
 
     def __setstate__(self, state: dict) -> None:
@@ -207,12 +202,19 @@ class SZCompressor(Compressor):
 
     def _compress_abs(self, array: np.ndarray) -> bytes:
         payload = compress_absolute_stream(
-            array, self.bound, self._max_bins, self._backend, self._level
+            array,
+            self.bound,
+            self._max_bins,
+            self._backend,
+            self._level,
+            engine=self._engine_impl,
         )
         return pack_header(_TAG_ABS, array.size, b"") + payload
 
     def _decompress_abs(self, blob: bytes, count: int, offset: int) -> np.ndarray:
-        return decompress_absolute_stream(blob[offset:], count, self._backend)
+        return decompress_absolute_stream(
+            blob[offset:], count, self._backend, engine=self._engine_impl
+        )
 
     # -- relative mode (log transform) ----------------------------------------------
 
@@ -220,7 +222,12 @@ class SZCompressor(Compressor):
         log_mag, signs, zero_mask = quantization.log_transform(array)
         log_bound = quantization.relative_to_log_absolute(self.bound)
         body = compress_absolute_stream(
-            log_mag, log_bound, self._max_bins, self._backend, self._level
+            log_mag,
+            log_bound,
+            self._max_bins,
+            self._backend,
+            self._level,
+            engine=self._engine_impl,
         )
         sign_bits = np.packbits((signs < 0).astype(np.uint8))
         zero_bits = np.packbits(zero_mask.astype(np.uint8))
@@ -234,7 +241,9 @@ class SZCompressor(Compressor):
         body_len, side_len = struct.unpack("<QQ", extra)
         body = blob[offset : offset + body_len]
         side = blob[offset + body_len : offset + body_len + side_len]
-        log_mag = decompress_absolute_stream(body, count, self._backend)
+        log_mag = decompress_absolute_stream(
+            body, count, self._backend, engine=self._engine_impl
+        )
         side_raw = lossless_decompress_bytes(side, self._backend)
         packed_len = (count + 7) // 8
         sign_bits = np.unpackbits(
@@ -259,7 +268,12 @@ class SZCompressor(Compressor):
             # with the same reader.  Decoders still accept the old layout:
             # they short-circuit on count == 0 without touching the payload.
             return pack_header(_TAG_ABS, 0, b"") + compress_absolute_stream(
-                array, self.bound, self._max_bins, self._backend, self._level
+                array,
+                self.bound,
+                self._max_bins,
+                self._backend,
+                self._level,
+                engine=self._engine_impl,
             )
         if self.mode is ErrorBoundMode.ABSOLUTE:
             return self._compress_abs(array)

@@ -50,12 +50,19 @@ class SZComplexCompressor(Compressor):
         max_bins: int = COMPLEX_QUANTIZATION_BINS,
         backend: str = "zlib",
         level: int = 6,
+        engine: str | None = None,
     ) -> None:
         if mode is ErrorBoundMode.LOSSLESS:
             raise CompressorError("SZ-complex is a lossy compressor")
         super().__init__(mode, bound)
+        self._set_engine(engine)
         self._inner = SZCompressor(
-            bound=bound, mode=mode, max_bins=max_bins, backend=backend, level=level
+            bound=bound,
+            mode=mode,
+            max_bins=max_bins,
+            backend=backend,
+            level=level,
+            engine=self._engine_impl,
         )
 
     @property
@@ -71,6 +78,7 @@ class SZComplexCompressor(Compressor):
             "max_bins": self._inner.max_bins,
             "backend": self._inner._backend,
             "level": self._inner._level,
+            "engine": self._engine_name,
         }
 
     def __setstate__(self, state: dict) -> None:

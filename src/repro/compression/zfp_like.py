@@ -31,7 +31,7 @@ import struct
 import numpy as np
 
 from . import quantization
-from .bitpack import pack_bitfields, unpack_bitfields
+from .bitpack import unpack_bitfields
 from .interface import (
     Compressor,
     CompressorError,
@@ -84,12 +84,14 @@ class ZFPLikeCompressor(Compressor):
         mode: ErrorBoundMode = ErrorBoundMode.ABSOLUTE,
         backend: str = "zlib",
         level: int = 6,
+        engine: str | None = None,
     ) -> None:
         if mode is ErrorBoundMode.LOSSLESS:
             raise CompressorError("ZFP-like is a lossy compressor")
         super().__init__(mode, bound)
         self._backend = backend
         self._level = int(level)
+        self._set_engine(engine)
 
     def __getstate__(self) -> dict:
         # Constructor arguments only (cheap process-pool pickling).
@@ -98,6 +100,7 @@ class ZFPLikeCompressor(Compressor):
             "mode": self.mode,
             "backend": self._backend,
             "level": self._level,
+            "engine": self._engine_name,
         }
 
     def __setstate__(self, state: dict) -> None:
@@ -139,7 +142,7 @@ class ZFPLikeCompressor(Compressor):
         widths[too_small] += 1
 
         per_coeff_width = np.repeat(widths, BLOCK_SIZE).astype(np.int64)
-        packed, total_bits = pack_bitfields(zigzag, per_coeff_width)
+        packed, total_bits = self._engine_impl.pack_bitfields(zigzag, per_coeff_width)
 
         header = struct.pack("<dQQ", step, zigzag.size, total_bits)
         return header + widths.tobytes() + packed.tobytes()

@@ -17,6 +17,25 @@ def rng() -> np.random.Generator:
     return np.random.default_rng(12345)
 
 
+@pytest.fixture(scope="module", params=["numpy", "numba"])
+def engine(request) -> str:
+    """Codec kernel engine name, parametrized over every known engine.
+
+    Module-scoped (flox idiom) so each test module using it — directly or via
+    :func:`make_codec` — runs once per engine.  The ``"numba"`` leg xfails,
+    rather than errors, on hosts without numba: the fallback path is covered
+    by the dedicated registry tests, not by re-running the whole suite
+    against what would silently be the numpy engine again.
+    """
+
+    if request.param == "numba":
+        try:
+            import numba  # noqa: F401
+        except ImportError:
+            pytest.xfail("numba is not installed")
+    return request.param
+
+
 @pytest.fixture(
     scope="module", params=["xor-bitplane", "sz", "sz-complex", "reshuffle"]
 )
@@ -46,15 +65,18 @@ def codec_name(request) -> str:
 
 
 @pytest.fixture(scope="module")
-def make_codec():
+def make_codec(engine):
     """Factory instantiating a codec by registry name with laptop defaults.
 
     The lossless codec takes no error bound; every lossy codec gets the same
     mid-range relative/absolute bound so parametrized tests compare formats,
-    not tolerances.
+    not tolerances.  Codecs are built with the current :func:`engine`
+    parameter (overridable per call), so every test module using this
+    factory exercises all engines.
     """
 
     def _make(name: str, bound: float = 1e-3, **overrides):
+        overrides.setdefault("engine", engine)
         if name == "lossless":
             return get_compressor(name, **overrides)
         return get_compressor(name, bound=bound, **overrides)

@@ -1,4 +1,9 @@
-"""Unit tests for the canonical Huffman codec."""
+"""Unit tests for the canonical Huffman codec.
+
+The ``huff`` fixture builds the codec with the module-scoped ``engine``
+fixture from conftest, so every round-trip here runs once per kernel engine
+(the numba leg xfails when numba is not installed).
+"""
 
 from __future__ import annotations
 
@@ -9,58 +14,69 @@ from repro.compression import huffman
 from repro.compression.interface import CompressorError
 
 
-class TestRoundTrip:
-    def test_small_alphabet(self):
-        symbols = np.array([0, 0, 0, 1, 1, 2] * 50, dtype=np.int64)
-        blob = huffman.encode(symbols)
-        assert np.array_equal(huffman.decode(blob), symbols)
+@pytest.fixture(scope="module")
+def huff(engine) -> huffman.HuffmanCodec:
+    """A Huffman codec bound to the current kernel engine."""
 
-    def test_single_symbol_stream(self):
+    return huffman.HuffmanCodec(engine=engine)
+
+
+class TestRoundTrip:
+    def test_small_alphabet(self, huff):
+        symbols = np.array([0, 0, 0, 1, 1, 2] * 50, dtype=np.int64)
+        blob = huff.encode(symbols)
+        assert np.array_equal(huff.decode(blob), symbols)
+
+    def test_single_symbol_stream(self, huff):
         symbols = np.full(1000, 7, dtype=np.int64)
-        blob = huffman.encode(symbols)
-        assert np.array_equal(huffman.decode(blob), symbols)
+        blob = huff.encode(symbols)
+        assert np.array_equal(huff.decode(blob), symbols)
         # Highly redundant stream should be tiny.
         assert len(blob) < 200
 
-    def test_two_symbols(self):
+    def test_two_symbols(self, huff):
         symbols = np.array([5, -5] * 100, dtype=np.int64)
-        assert np.array_equal(huffman.decode(huffman.encode(symbols)), symbols)
+        assert np.array_equal(huff.decode(huff.encode(symbols)), symbols)
 
-    def test_negative_and_large_symbols(self):
+    def test_negative_and_large_symbols(self, huff):
         symbols = np.array([-(2**40), 0, 2**40, 17, -3] * 20, dtype=np.int64)
-        assert np.array_equal(huffman.decode(huffman.encode(symbols)), symbols)
+        assert np.array_equal(huff.decode(huff.encode(symbols)), symbols)
 
-    def test_empty_stream(self):
+    def test_empty_stream(self, huff):
         symbols = np.zeros(0, dtype=np.int64)
-        assert huffman.decode(huffman.encode(symbols)).size == 0
+        assert huff.decode(huff.encode(symbols)).size == 0
 
-    def test_single_element(self):
+    def test_single_element(self, huff):
         symbols = np.array([42], dtype=np.int64)
-        assert np.array_equal(huffman.decode(huffman.encode(symbols)), symbols)
+        assert np.array_equal(huff.decode(huff.encode(symbols)), symbols)
 
-    def test_random_streams(self, rng):
+    def test_random_streams(self, huff, rng):
         for alphabet in (2, 16, 300):
             symbols = rng.integers(-alphabet, alphabet, size=5000).astype(np.int64)
-            assert np.array_equal(huffman.decode(huffman.encode(symbols)), symbols)
+            assert np.array_equal(huff.decode(huff.encode(symbols)), symbols)
 
-    def test_skewed_distribution_compresses(self, rng):
+    def test_skewed_distribution_compresses(self, huff, rng):
         # Geometric-ish distribution: most symbols are 0, a few are large.
         symbols = rng.geometric(0.7, size=20000).astype(np.int64)
-        blob = huffman.encode(symbols)
+        blob = huff.encode(symbols)
         assert len(blob) < symbols.nbytes / 4
 
-    def test_rejects_2d_input(self):
+    def test_rejects_2d_input(self, huff):
         with pytest.raises(CompressorError):
-            huffman.encode(np.zeros((3, 3), dtype=np.int64))
+            huff.encode(np.zeros((3, 3), dtype=np.int64))
 
-    def test_truncated_stream_raises(self):
+    def test_truncated_stream_raises(self, huff):
         symbols = np.arange(100, dtype=np.int64)
-        blob = huffman.encode(symbols)
+        blob = huff.encode(symbols)
         with pytest.raises(Exception):
-            huffman.decode(blob[: len(blob) // 2])
+            huff.decode(blob[: len(blob) // 2])
 
-    def test_codec_class_and_module_functions_agree(self):
+    def test_codec_class_and_module_functions_agree(self, huff):
         symbols = np.array([1, 2, 3, 1, 2, 1], dtype=np.int64)
         codec = huffman.HuffmanCodec()
         assert np.array_equal(codec.decode(codec.encode(symbols)), symbols)
         assert np.array_equal(huffman.decode(codec.encode(symbols)), symbols)
+        # Cross-engine: module functions (default engine) read the fixture
+        # codec's blobs and vice versa.
+        assert np.array_equal(huffman.decode(huff.encode(symbols)), symbols)
+        assert np.array_equal(huff.decode(huffman.encode(symbols)), symbols)

@@ -1,0 +1,198 @@
+"""Unit tests for the benchmark trend harness (``benchmarks/trend.py``).
+
+The harness is what turns a silent decode-throughput regression into a red
+CI build, so its own logic — summarising a bench JSON, matching baselines by
+environment, the 30% gate, the append-always contract — is pinned here with
+fabricated bench payloads (no actual benchmarking).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_spec = importlib.util.spec_from_file_location(
+    "trend", Path(__file__).parent.parent / "benchmarks" / "trend.py"
+)
+trend = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(trend)
+
+
+def _bench_payload(decode_mb_s: float = 100.0, numba: bool = False) -> dict:
+    engines = ["numba", "numpy"] if numba else ["numpy"]
+    results = {
+        "numpy": {
+            "huffman_decode_seconds": 0.5,
+            "huffman_encode_seconds": 0.4,
+            "sz_decode_seconds": 0.2,
+            # Deliberately differs from the legacy huffman_speedup-derived
+            # rate (2.0) so the override is observable.
+            "huffman_decode_msym_s": 2.5,
+        }
+    }
+    if numba:
+        results["numba"] = {
+            "huffman_decode_seconds": 0.1,
+            "huffman_encode_seconds": 0.1,
+            "sz_decode_seconds": 0.05,
+            "huffman_decode_msym_s": 10.0,
+        }
+    return {
+        "meta": {
+            "quick": False,
+            "huffman_symbols": 1 << 20,
+            "block_sizes": [1 << 14, 1 << 17, 1 << 20],
+            "available_cpus": 4,
+        },
+        "huffman_speedup": {
+            "symbols": 1 << 20,
+            "vectorised_seconds": (1 << 20) / (2.0 * 1e6),
+        },
+        "throughput": [
+            {
+                "codec": "sz-rel",
+                "block": 1 << 17,
+                "ratio": 8.0,
+                "encode_mb_s": 50.0,
+                "decode_mb_s": decode_mb_s,
+            },
+            {
+                "codec": "huffman",
+                "block": 1 << 17,
+                "ratio": 4.0,
+                "encode_mb_s": 80.0,
+                "decode_mb_s": 2 * decode_mb_s,
+            },
+        ],
+        "engines": {
+            "available": engines,
+            "symbols": 1 << 20,
+            "block": 1 << 20,
+            "results": results,
+            "numba_decode_speedup": 5.0 if numba else None,
+            "floor": 3.0,
+        },
+    }
+
+
+def _record(decode_mb_s: float = 100.0, commit: str = "abc1234", **kwargs) -> dict:
+    return trend.summarise(
+        _bench_payload(decode_mb_s, **kwargs), commit=commit, timestamp="t"
+    )
+
+
+class TestSummarise:
+    def test_extracts_per_codec_and_per_engine_series(self):
+        record = _record(numba=True)
+        assert record["decode_mb_s"]["sz-rel@131072"] == 100.0
+        assert record["decode_mb_s"]["huffman@131072"] == 200.0
+        assert record["huffman_decode_msym_s"]["numba"] == 10.0
+        assert record["engines_available"] == ["numba", "numpy"]
+        assert record["quick"] is False
+        assert record["commit"] == "abc1234"
+
+    def test_engine_section_overrides_legacy_huffman_series(self):
+        # Both sections report a numpy Huffman decode rate; the engine matrix
+        # (which warmed up and pinned the engine explicitly) wins.
+        record = _record()
+        assert record["huffman_decode_msym_s"]["numpy"] == 2.5
+
+    def test_partial_bench_runs_summarise_cleanly(self):
+        record = trend.summarise({"meta": {"quick": True}}, commit="x", timestamp="t")
+        assert record["decode_mb_s"] == {}
+        assert record["huffman_decode_msym_s"] == {}
+        assert record["quick"] is True
+
+
+class TestBaselineMatching:
+    def test_most_recent_matching_entry_wins(self):
+        current = _record()
+        older, newer = _record(90.0, commit="old"), _record(95.0, commit="new")
+        assert trend.find_baseline([older, newer], current)["commit"] == "new"
+
+    def test_environment_mismatch_is_not_a_baseline(self):
+        current = _record()
+        quick = dict(_record(), quick=True)
+        other_size = dict(_record(), huffman_symbols=1 << 16)
+        other_engines = _record(numba=True)
+        assert trend.find_baseline([quick, other_size, other_engines], current) is None
+
+    def test_empty_history(self):
+        assert trend.find_baseline([], _record()) is None
+
+
+class TestCompare:
+    def test_within_gate_passes(self):
+        # 25% drop < 30% gate.
+        assert trend.compare(_record(75.0), _record(100.0), 0.30) == []
+
+    def test_large_drop_fails(self):
+        regressions = trend.compare(_record(60.0), _record(100.0), 0.30)
+        # Both throughput series dropped 40%.
+        assert len(regressions) == 2
+        assert any("sz-rel@131072" in r for r in regressions)
+
+    def test_improvement_passes(self):
+        assert trend.compare(_record(200.0), _record(100.0), 0.30) == []
+
+    def test_new_series_is_not_a_regression(self):
+        current, baseline = _record(numba=True), _record()
+        current["decode_mb_s"] = baseline["decode_mb_s"].copy()
+        assert trend.compare(current, baseline, 0.30) == []
+
+
+class TestMain:
+    def _run(self, tmp_path: Path, payload: dict, argv: list[str] = ()) -> int:
+        results = tmp_path / "BENCH_codec.json"
+        results.write_text(json.dumps(payload))
+        return trend.main(
+            ["--results", str(results), "--trend", str(tmp_path / "TREND.jsonl"), *argv]
+        )
+
+    def test_first_run_records_and_passes(self, tmp_path, capsys):
+        assert self._run(tmp_path, _bench_payload()) == 0
+        entries = trend.load_trend(tmp_path / "TREND.jsonl")
+        assert len(entries) == 1
+        assert "no environment-matched baseline" in capsys.readouterr().out
+
+    def test_stable_reruns_accumulate_and_pass(self, tmp_path):
+        assert self._run(tmp_path, _bench_payload(100.0)) == 0
+        assert self._run(tmp_path, _bench_payload(98.0)) == 0
+        assert len(trend.load_trend(tmp_path / "TREND.jsonl")) == 2
+
+    def test_regression_fails_but_is_still_recorded(self, tmp_path, capsys):
+        assert self._run(tmp_path, _bench_payload(100.0)) == 0
+        assert self._run(tmp_path, _bench_payload(50.0)) == 1
+        # The data point lands in the history even though the gate failed.
+        entries = trend.load_trend(tmp_path / "TREND.jsonl")
+        assert len(entries) == 2
+        assert "regressed" in capsys.readouterr().out
+
+    def test_check_only_does_not_append(self, tmp_path):
+        assert self._run(tmp_path, _bench_payload(100.0)) == 0
+        assert self._run(tmp_path, _bench_payload(50.0), ["--check-only"]) == 1
+        assert len(trend.load_trend(tmp_path / "TREND.jsonl")) == 1
+
+    def test_threshold_is_configurable(self, tmp_path):
+        assert self._run(tmp_path, _bench_payload(100.0)) == 0
+        assert self._run(tmp_path, _bench_payload(50.0), ["--threshold", "0.6"]) == 0
+
+    def test_missing_results_file_is_an_error(self, tmp_path, capsys):
+        code = trend.main(
+            [
+                "--results",
+                str(tmp_path / "missing.json"),
+                "--trend",
+                str(tmp_path / "TREND.jsonl"),
+            ]
+        )
+        assert code == 2
+        assert "no benchmark results" in capsys.readouterr().err
+
+    def test_jsonl_lines_are_valid_json(self, tmp_path):
+        self._run(tmp_path, _bench_payload())
+        raw = (tmp_path / "TREND.jsonl").read_text().splitlines()
+        assert all(json.loads(line)["schema"] == 1 for line in raw)
