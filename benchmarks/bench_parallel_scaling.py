@@ -45,6 +45,7 @@ from repro.applications import (
 )
 from repro.circuits import QuantumCircuit
 from repro.core import CompressedSimulator, SimulatorConfig, effective_cpu_count
+from repro.resilience import FaultPolicy
 
 QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -58,6 +59,9 @@ WORKER_COUNTS = (1, 2, 4)
 SPEEDUP_FLOOR = 2.0
 QAOA_QUBITS = 8 if QUICK else 12
 FANOUT_WORKERS = 4
+#: In-run resilience checkpoint cadence sweep (waves between snapshots;
+#: 0 = checkpointing off).
+CHECKPOINT_INTERVALS = (0, 8, 32)
 
 
 def _merge_json(section: str, payload) -> None:
@@ -184,6 +188,84 @@ def test_executor_scaling_curves(emit):
     if _floor_enforced():
         process_speedup = baseline / curves["process"][4]
         assert process_speedup >= SPEEDUP_FLOOR, curves
+
+
+def test_recovery_overhead(emit):
+    """Cost of in-run resilience checkpoints on the ranked tier.
+
+    Sweeps ``FaultPolicy.checkpoint_interval_waves`` (off / 32 / 8 waves)
+    on a fault-free multi-rank run: the delta against interval 0 is the
+    pure overhead a user pays for a bounded replay window after a rank
+    death.  Bit-identity across all intervals is asserted in every mode —
+    checkpointing must never perturb the simulation itself.
+    """
+
+    circuit = codec_bound_circuit(NUM_QUBITS, LAYERS)
+    _run(circuit, executor="thread", workers=1)  # warm-up (allocator, zlib)
+    rows = []
+    baseline_state: np.ndarray | None = None
+    baseline_seconds: float | None = None
+    for interval in CHECKPOINT_INTERVALS:
+        policy = FaultPolicy(max_retries=1, checkpoint_interval_waves=interval)
+        config = SimulatorConfig(
+            num_ranks=2,
+            block_amplitudes=BLOCK_AMPLITUDES,
+            comm="process",
+            fusion_enabled=False,  # keep the wave count fixed across runs
+            fault_policy=policy,
+        )
+        best = float("inf")
+        with CompressedSimulator(NUM_QUBITS, config) as simulator:
+            for _ in range(REPEATS):
+                simulator.reset()
+                start = time.perf_counter()
+                simulator.apply_circuit(circuit)
+                best = min(best, time.perf_counter() - start)
+            state = simulator.statevector()
+            recovery = simulator.report().recovery
+        if baseline_state is None:
+            baseline_state, baseline_seconds = state, best
+        else:
+            # Checkpointing is pure bookkeeping: same bytes, every interval.
+            assert np.array_equal(baseline_state, state), interval
+        rows.append(
+            {
+                "interval_waves": interval,
+                "seconds": best,
+                "overhead": best / baseline_seconds - 1.0,
+                "checkpoints_written": (
+                    (recovery or {}).get("checkpoints_written", 0)
+                ),
+            }
+        )
+
+    _merge_json(
+        "recovery_overhead",
+        {
+            "workload": {"circuit": circuit.name, "gates": len(circuit)},
+            "num_ranks": 2,
+            "intervals": rows,
+        },
+    )
+    emit(
+        f"Resilience checkpoint overhead, ranked tier ({NUM_QUBITS} qubits, "
+        f"{len(circuit)} gates, 2 ranks)",
+        format_table(
+            [
+                {
+                    "checkpoint interval": (
+                        "off" if row["interval_waves"] == 0
+                        else f'every {row["interval_waves"]} waves'
+                    ),
+                    "seconds": f'{row["seconds"]:.3f}',
+                    "overhead": f'{100.0 * row["overhead"]:+.1f}%',
+                    "checkpoints": row["checkpoints_written"],
+                }
+                for row in rows
+            ]
+        )
+        + "\nbit-identity across all intervals asserted",
+    )
 
 
 def _strip_timing(data):

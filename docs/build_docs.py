@@ -57,6 +57,8 @@ ENFORCED_PACKAGES = (
     "repro.compression.engines",
     "repro.core.procpool",
     "repro.distributed",
+    "repro.errors",
+    "repro.resilience",
 )
 
 #: One API page per entry: (slug, page title, module names).
@@ -88,6 +90,9 @@ API_SECTIONS = [
         "repro.core.executor", "repro.core.procpool", "repro.core.cache",
         "repro.core.adaptive", "repro.core.fidelity", "repro.core.report",
         "repro.core.checkpoint",
+    ]),
+    ("resilience", "repro.resilience", [
+        "repro.errors", "repro.resilience", "repro.resilience.faults",
     ]),
     ("backends", "repro.backends", [
         "repro.backends", "repro.backends.base", "repro.backends.runner",

@@ -46,6 +46,14 @@ from .core import (
     load_checkpoint,
     save_checkpoint,
 )
+from .errors import (
+    BlockCorruptionError,
+    CheckpointError,
+    ProcessCommTimeout,
+    ReproError,
+    WorkerCrashedError,
+)
+from .resilience import FaultPolicy, resolve_fault_policy
 from .statevector import DenseSimulator, simulate_statevector, state_fidelity
 from .backends import (
     Backend,
@@ -72,6 +80,13 @@ __all__ = [
     "SimulationReport",
     "save_checkpoint",
     "load_checkpoint",
+    "ReproError",
+    "WorkerCrashedError",
+    "ProcessCommTimeout",
+    "BlockCorruptionError",
+    "CheckpointError",
+    "FaultPolicy",
+    "resolve_fault_policy",
     "DenseSimulator",
     "simulate_statevector",
     "state_fidelity",

@@ -32,6 +32,11 @@ __all__ = ["run_batch_in_processes"]
 class _CircuitRunner:
     """Warm per-process state: one backend engine plus one open session."""
 
+    #: Dominant message kind, consulted by the fault harness when arming
+    #: chaos injection (circuit fan-out is replay-safe: every circuit ships
+    #: its own seed sequence, so a respawned worker reproduces it exactly).
+    POOL_KIND = "circuit"
+
     def __init__(self, backend_name: str, options: dict, master_seed) -> None:
         from .base import get_backend
 
@@ -92,6 +97,8 @@ def run_batch_in_processes(
     """
 
     from ..core.procpool import ProcessPool, effective_cpu_count, raise_worker_error
+    from ..errors import WorkerCrashedError
+    from ..resilience import resolve_fault_policy
     from .base import BackendError, _REGISTRY
 
     if not engine.name or engine.name not in _REGISTRY:
@@ -109,11 +116,15 @@ def run_batch_in_processes(
             "across worker processes; drop comm= or run the batch sequentially"
         )
 
+    policy = resolve_fault_policy(None)
     cap = effective_cpu_count() if max_parallel is None else max_parallel
     num_workers = max(1, min(len(batch), cap))
     results: list[Result | None] = [None] * len(batch)
     with ProcessPool(
-        num_workers, _CircuitRunner, init_args=(engine.name, options, seed)
+        num_workers,
+        _CircuitRunner,
+        init_args=(engine.name, options, seed),
+        fault_policy=policy,
     ) as pool:
         # Round-robin assignment keeps each worker's per-width simulators
         # warm; the outstanding cap (pool slots) bounds pipe backlog so a
@@ -130,22 +141,50 @@ def run_batch_in_processes(
                 return_statevector,
             )
             queues.setdefault(index % num_workers, []).append(message)
+        # Messages submitted but not yet answered, per worker and circuit
+        # index: a crashed worker's entries re-enqueue onto a respawned
+        # worker when the fault policy allows retries.  Re-execution is safe
+        # — each circuit carries its own seed sequence, so the retried run
+        # is bit-identical.
+        in_flight: dict[int, dict[int, tuple]] = {}
         outstanding = 0
+        attempt = 0
         while queues or outstanding:
-            for worker_id in list(queues):
-                pending = queues[worker_id]
-                while pending and pool.can_submit(worker_id):
-                    pool.submit(worker_id, pending.pop(0))
-                    outstanding += 1
-                if not pending:
-                    del queues[worker_id]
-            if outstanding:
-                worker_id, reply = pool.recv_any()
-                outstanding -= 1
-                if reply[0] == "err":
-                    raise_worker_error(
-                        reply, f"batched circuit failed in pool worker {worker_id}"
-                    )
-                _, index, result = reply
-                results[index] = result
+            try:
+                for worker_id in list(queues):
+                    pending = queues[worker_id]
+                    while pending and pool.can_submit(worker_id):
+                        message = pending[0]
+                        pool.submit(worker_id, message)
+                        pending.pop(0)
+                        in_flight.setdefault(worker_id, {})[message[1]] = message
+                        outstanding += 1
+                    if not pending:
+                        del queues[worker_id]
+                if outstanding:
+                    worker_id, reply = pool.recv_any()
+                    if reply[0] == "err":
+                        raise_worker_error(
+                            reply,
+                            f"batched circuit failed in pool worker {worker_id}",
+                        )
+                    outstanding -= 1
+                    _, index, result = reply
+                    in_flight.get(worker_id, {}).pop(index, None)
+                    results[index] = result
+            except WorkerCrashedError:
+                if attempt >= policy.max_retries:
+                    raise
+                attempt += 1
+                restarted = pool.heal()
+                if not restarted:
+                    raise  # nothing actually died — a stuck pool cannot heal
+                for dead_id in restarted:
+                    lost = in_flight.pop(dead_id, {})
+                    if lost:
+                        queues.setdefault(dead_id, []).extend(lost.values())
+                        outstanding -= len(lost)
+                backoff = policy.backoff_seconds(attempt - 1)
+                if backoff > 0:
+                    time.sleep(backoff)
     return results  # type: ignore[return-value]

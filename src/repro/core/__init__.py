@@ -7,7 +7,12 @@ from .checkpoint import CheckpointError, load_checkpoint, save_checkpoint
 from .compressed_state import CompressedStateVector
 from .config import PAPER_BLOCK_AMPLITUDES, SimulatorConfig
 from .executor import ProcessTaskExecutor, TaskExecutor
-from .procpool import ProcessPool, WorkerCrashedError, effective_cpu_count
+from .procpool import (
+    BlockCorruptionError,
+    ProcessPool,
+    WorkerCrashedError,
+    effective_cpu_count,
+)
 from .fidelity import FidelityTracker, fidelity_curve, fidelity_lower_bound
 from .report import SimulationReport, Timer
 from .simulator import CompressedSimulator
@@ -18,6 +23,7 @@ __all__ = [
     "ProcessTaskExecutor",
     "ProcessPool",
     "WorkerCrashedError",
+    "BlockCorruptionError",
     "effective_cpu_count",
     "CompressedStateVector",
     "SimulatorConfig",

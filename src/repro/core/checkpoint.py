@@ -6,29 +6,36 @@ The same mechanism is reproduced here: a checkpoint is a single file holding
 the partition geometry, the adaptive-controller state, the fidelity history
 and every compressed blob, written with a small self-describing binary format
 (no pickle, so a checkpoint cannot execute code when loaded).
+
+Parsing is fully bounds-checked: a truncated or scribbled file raises
+:class:`~repro.errors.CheckpointError` with the offending field named, never
+raw ``struct``/``json`` junk — recovery code probing a possibly-torn
+checkpoint (see :mod:`repro.resilience`) depends on that single exception
+type to decide whether a snapshot is usable.
 """
 
 from __future__ import annotations
 
 import json
 import struct
-from dataclasses import dataclass
 from pathlib import Path
 
-import numpy as np
-
-from ..distributed.partition import Partition
+from ..distributed.partition import Partition  # noqa: F401 - re-export context
+from ..errors import CheckpointError
 from .blocks import CompressedBlock
 from .config import SimulatorConfig
 from .simulator import CompressedSimulator
 
-__all__ = ["save_checkpoint", "load_checkpoint", "CheckpointError"]
+__all__ = [
+    "save_checkpoint",
+    "load_checkpoint",
+    "read_checkpoint",
+    "CheckpointError",
+]
 
 _MAGIC = b"QCKPT001"
 
-
-class CheckpointError(RuntimeError):
-    """Raised when a checkpoint file is malformed or inconsistent."""
+_BLOCK_HEADER = struct.Struct("<IIHdI")
 
 
 def save_checkpoint(simulator: CompressedSimulator, path: str | Path) -> int:
@@ -72,11 +79,123 @@ def save_checkpoint(simulator: CompressedSimulator, path: str | Path) -> int:
         for rank, block, entry in blocks:
             name = entry.compressor.encode()
             handle.write(
-                struct.pack("<IIHdI", rank, block, len(name), entry.bound, len(entry.blob))
+                _BLOCK_HEADER.pack(rank, block, len(name), entry.bound, len(entry.blob))
             )
             handle.write(name)
             handle.write(entry.blob)
     return path.stat().st_size
+
+
+class _Reader:
+    """Bounds-checked cursor over a checkpoint's raw bytes.
+
+    Every read names the field it is after, so truncation anywhere in the
+    file raises a :class:`CheckpointError` that says which field was cut
+    short instead of an :class:`IndexError`/:class:`struct.error` from the
+    parsing internals.
+    """
+
+    def __init__(self, raw: bytes, path: Path) -> None:
+        self._raw = raw
+        self._path = path
+        self._offset = 0
+
+    def take(self, size: int, what: str) -> bytes:
+        """The next *size* bytes, or a :class:`CheckpointError` naming *what*."""
+
+        end = self._offset + size
+        if end > len(self._raw):
+            raise CheckpointError(
+                f"checkpoint truncated inside {what}: need {size} bytes at "
+                f"offset {self._offset}, file holds {len(self._raw)}",
+                path=str(self._path),
+            )
+        chunk = self._raw[self._offset : end]
+        self._offset = end
+        return chunk
+
+    def unpack(self, layout: struct.Struct, what: str) -> tuple:
+        """Unpack one struct layout, bounds-checked like :meth:`take`."""
+
+        return layout.unpack(self.take(layout.size, what))
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether every byte of the file has been consumed."""
+
+        return self._offset == len(self._raw)
+
+
+_U32 = struct.Struct("<I")
+
+
+def read_checkpoint(path: str | Path) -> tuple[dict, list[tuple]]:
+    """Parse a checkpoint file into ``(meta, blocks)`` without building a simulator.
+
+    ``blocks`` is a list of ``(rank, block, compressor_name, bound, blob)``
+    tuples.  This is the parsing half of :func:`load_checkpoint`, exposed
+    separately so in-run recovery can push blocks into an *existing*
+    simulator's store instead of constructing a fresh one.  Any malformed,
+    truncated or undecodable content raises :class:`CheckpointError`.
+    """
+
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except OSError as exc:
+        raise CheckpointError(
+            f"cannot read checkpoint: {exc}", path=str(path)
+        ) from exc
+    reader = _Reader(raw, path)
+    if reader.take(len(_MAGIC), "magic") != _MAGIC:
+        raise CheckpointError(
+            f"{path} is not a repro checkpoint", path=str(path)
+        )
+    (meta_len,) = reader.unpack(_U32, "metadata length")
+    meta_blob = reader.take(meta_len, "metadata")
+    try:
+        meta = json.loads(meta_blob.decode())
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise CheckpointError(
+            f"checkpoint metadata is not valid JSON: {exc}", path=str(path)
+        ) from exc
+    if not isinstance(meta, dict):
+        raise CheckpointError(
+            "checkpoint metadata is not a JSON object", path=str(path)
+        )
+    (num_blocks,) = reader.unpack(_U32, "block count")
+    blocks: list[tuple] = []
+    for index in range(num_blocks):
+        rank, block, name_len, bound, blob_len = reader.unpack(
+            _BLOCK_HEADER, f"block {index} header"
+        )
+        try:
+            name = reader.take(name_len, f"block {index} compressor name").decode()
+        except UnicodeDecodeError as exc:
+            raise CheckpointError(
+                f"block {index} compressor name is not valid UTF-8",
+                path=str(path),
+            ) from exc
+        blob = reader.take(blob_len, f"block {index} blob")
+        blocks.append((rank, block, name, bound, blob))
+    if not reader.exhausted:
+        raise CheckpointError(
+            "checkpoint has trailing bytes after the last block",
+            path=str(path),
+        )
+    return meta, blocks
+
+
+def _meta_field(meta: dict, key: str, path: Path):
+    """A required metadata field, or a :class:`CheckpointError` naming it."""
+
+    try:
+        return meta[key]
+    except KeyError as exc:
+        raise CheckpointError(
+            f"checkpoint metadata is missing required field {key!r}",
+            path=str(path),
+        ) from exc
 
 
 def load_checkpoint(
@@ -91,23 +210,16 @@ def load_checkpoint(
     """
 
     path = Path(path)
-    raw = path.read_bytes()
-    if raw[: len(_MAGIC)] != _MAGIC:
-        raise CheckpointError(f"{path} is not a repro checkpoint")
-    offset = len(_MAGIC)
-    (meta_len,) = struct.unpack_from("<I", raw, offset)
-    offset += 4
-    meta = json.loads(raw[offset : offset + meta_len].decode())
-    offset += meta_len
+    meta, blocks = read_checkpoint(path)
 
     if config is None:
         config = SimulatorConfig(
-            num_ranks=meta["num_ranks"],
-            block_amplitudes=meta["block_amplitudes"],
-            memory_budget_bytes=meta["memory_budget_bytes"],
-            error_levels=tuple(meta["error_levels"]),
-            lossy_compressor=meta["lossy_compressor"],
-            lossless_backend=meta["lossless_backend"],
+            num_ranks=_meta_field(meta, "num_ranks", path),
+            block_amplitudes=_meta_field(meta, "block_amplitudes", path),
+            memory_budget_bytes=_meta_field(meta, "memory_budget_bytes", path),
+            error_levels=tuple(_meta_field(meta, "error_levels", path)),
+            lossy_compressor=_meta_field(meta, "lossy_compressor", path),
+            lossless_backend=_meta_field(meta, "lossless_backend", path),
             # Absent in pre-1.1 checkpoints, which always tracked.
             track_fidelity_bound=meta.get("track_fidelity_bound", True),
             # Absent in pre-engine checkpoints; blobs are engine-agnostic, so
@@ -115,38 +227,33 @@ def load_checkpoint(
             codec_engine=meta.get("codec_engine", "numpy"),
         )
     else:
-        if config.num_ranks != meta["num_ranks"]:
+        if config.num_ranks != _meta_field(meta, "num_ranks", path):
             raise CheckpointError(
                 "config.num_ranks does not match the checkpointed partition"
             )
 
-    simulator = CompressedSimulator(meta["num_qubits"], config=config)
+    simulator = CompressedSimulator(
+        _meta_field(meta, "num_qubits", path), config=config
+    )
 
-    (num_blocks,) = struct.unpack_from("<I", raw, offset)
-    offset += 4
     expected = (
         simulator.partition.num_ranks * simulator.partition.blocks_per_rank
     )
-    if num_blocks != expected:
+    if len(blocks) != expected:
         raise CheckpointError(
-            f"checkpoint holds {num_blocks} blocks, partition expects {expected}"
+            f"checkpoint holds {len(blocks)} blocks, partition expects {expected}",
+            path=str(path),
         )
-    for _ in range(num_blocks):
-        rank, block, name_len, bound, blob_len = struct.unpack_from("<IIHdI", raw, offset)
-        offset += struct.calcsize("<IIHdI")
-        name = raw[offset : offset + name_len].decode()
-        offset += name_len
-        blob = raw[offset : offset + blob_len]
-        offset += blob_len
+    for rank, block, name, bound, blob in blocks:
         simulator.state.store.put(
             rank, block, CompressedBlock(blob=blob, compressor=name, bound=bound)
         )
 
     # Restore progress counters.
-    simulator._gate_index = int(meta["gate_count"])  # noqa: SLF001 - deliberate restore
+    simulator._gate_index = int(_meta_field(meta, "gate_count", path))  # noqa: SLF001 - deliberate restore
     if simulator.fidelity_tracker is not None:
-        for bound in meta["fidelity_gate_bounds"]:
+        for bound in _meta_field(meta, "fidelity_gate_bounds", path):
             simulator.fidelity_tracker.record_gate(float(bound))
-    if meta["current_bound"]:
+    if _meta_field(meta, "current_bound", path):
         simulator.controller.force_level(float(meta["current_bound"]))
     return simulator

@@ -8,8 +8,12 @@ error levels escalating from lossless to 1e-1).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..compression.interface import PAPER_ERROR_LEVELS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (config ← resilience)
+    from ..resilience import FaultPolicy
 
 __all__ = ["SimulatorConfig", "PAPER_BLOCK_AMPLITUDES"]
 
@@ -101,6 +105,15 @@ class SimulatorConfig:
         both tiers.  ``comm="process"`` supplies its own parallelism (one
         process per rank), so it requires the default ``executor="thread"``
         with ``num_workers=1``.
+    fault_policy:
+        Recovery policy (:class:`repro.resilience.FaultPolicy`) of the run:
+        retries, backoff, in-run checkpoint interval and the executor
+        degrade ladder.  ``None`` resolves through
+        :func:`repro.resilience.resolve_fault_policy` — the
+        ``REPRO_FAULT_POLICY`` environment variable if set, a
+        recovery-enabled default when a fault plan is active (the CI chaos
+        job), and otherwise an inert policy that keeps the historical
+        fail-fast behaviour.
     """
 
     num_ranks: int = 1
@@ -122,6 +135,7 @@ class SimulatorConfig:
     executor: str = "thread"
     mp_start_method: str | None = None
     comm: str = "simulated"
+    fault_policy: "FaultPolicy | None" = None
 
     def __post_init__(self) -> None:
         if self.num_ranks < 1 or self.num_ranks & (self.num_ranks - 1):
@@ -172,6 +186,14 @@ class SimulatorConfig:
             )
         if self.fusion_max_group is not None and self.fusion_max_group < 1:
             raise ValueError("fusion_max_group must be >= 1 (or None)")
+        if self.fault_policy is not None:
+            from ..resilience import FaultPolicy
+
+            if not isinstance(self.fault_policy, FaultPolicy):
+                raise ValueError(
+                    "fault_policy must be a repro.resilience.FaultPolicy "
+                    "instance or None"
+                )
 
     def resolve_block_amplitudes(self, num_qubits: int, num_ranks: int) -> int:
         """Pick the block size for a given problem when not set explicitly.

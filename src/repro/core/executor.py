@@ -33,6 +33,7 @@ runs the exact same kernels and codecs on the exact same bytes.
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
@@ -41,6 +42,8 @@ from ..circuits import Gate
 from ..compression.interface import Compressor
 from ..distributed.comm import SimulatedCommunicator
 from ..distributed.exchange import BlockTask, GatePlan
+from ..errors import BlockCorruptionError, WorkerCrashedError
+from ..resilience import FaultPolicy, resolve_fault_policy
 from ..statevector import ops
 from .blocks import ScratchPool
 from .cache import BlockCache
@@ -360,10 +363,19 @@ class ProcessTaskExecutor(TaskExecutor):
     Parameters beyond :class:`TaskExecutor`'s: *cache_lines*,
     *cache_miss_disable_threshold* and *cache_enabled* configure the
     per-worker cache shards (the parent's :class:`BlockCache` object is kept
-    only as the stats sink the simulator reports from), and *start_method*
+    only as the stats sink the simulator reports from), *start_method*
     picks the ``multiprocessing`` start method (``None`` = platform
     default; ``"fork"`` and ``"spawn"`` are both supported and produce
-    bit-identical states).
+    bit-identical states), and *fault_policy* opts into recovery.
+
+    Failure handling (:mod:`repro.resilience`): the parent holds the
+    authoritative block blobs until a wave commits, so when a worker dies or
+    a shared-memory payload fails its checksum, the already-collected
+    results of the wave stay committed, the dead workers are respawned in
+    place and only the still-uncommitted task groups are re-dispatched —
+    idempotent, bit-identical replay.  When ``max_retries`` is exhausted the
+    ``degrade_to`` ladder (if any) finishes the wave inline and moves the
+    executor down a tier (thread or sequential) for the rest of the run.
     """
 
     def __init__(
@@ -379,6 +391,7 @@ class ProcessTaskExecutor(TaskExecutor):
         cache_lines: int = 64,
         cache_miss_disable_threshold: int | None = 256,
         start_method: str | None = None,
+        fault_policy: FaultPolicy | None = None,
     ) -> None:
         super().__init__(
             state=state,
@@ -393,6 +406,10 @@ class ProcessTaskExecutor(TaskExecutor):
         self._cache_threshold = cache_miss_disable_threshold
         self._start_method = start_method
         self._proc_pool: ProcessPool | None = None
+        self._policy = resolve_fault_policy(fault_policy)
+        #: Tier the executor degraded to after exhausting retries, or None
+        #: while the process tier is healthy.
+        self._degraded: str | None = None
 
     @staticmethod
     def _validate_scratch(scratch: ScratchPool, num_workers: int) -> None:
@@ -417,6 +434,7 @@ class ProcessTaskExecutor(TaskExecutor):
                 ),
                 slot_bytes=block_slot_bytes(self._scratch.block_amplitudes),
                 start_method=self._start_method,
+                fault_policy=self._policy,
             )
         return self._proc_pool
 
@@ -438,11 +456,18 @@ class ProcessTaskExecutor(TaskExecutor):
             self._proc_pool.broadcast(("reset",))
 
     def close(self) -> None:
-        """Shut down the worker processes (idempotent)."""
+        """Shut down the worker processes and any degrade-tier thread pool."""
 
         pool, self._proc_pool = self._proc_pool, None
         if pool is not None:
             pool.close()
+        super().close()
+
+    @property
+    def degraded_tier(self) -> str | None:
+        """Tier the executor fell back to ("thread"/"sequential"), or None."""
+
+        return self._degraded
 
     # -- plan execution ----------------------------------------------------------------
 
@@ -454,6 +479,11 @@ class ProcessTaskExecutor(TaskExecutor):
         op_key: tuple,
         local_control_mask: np.ndarray | None,
     ) -> None:
+        if self._degraded is not None:
+            self._run_plan_degraded(
+                gate, plan, compressor, op_key, local_control_mask
+            )
+            return
         if self._num_workers == 1:
             # The documented num_workers=1 contract is the seed's sequential
             # execution; a one-process pool would pay IPC per task for zero
@@ -462,7 +492,6 @@ class ProcessTaskExecutor(TaskExecutor):
             return
         self._account_exchanges(plan)
         pool = self._ensure_proc_pool()
-        blocks_per_rank = self._state.partition.blocks_per_rank
         base_message = (
             "task",
             gate.matrix,
@@ -471,24 +500,194 @@ class ProcessTaskExecutor(TaskExecutor):
             compressor,
             op_key,
         )
-        for wave in plan.independent_groups():
+        for wave_index, wave in enumerate(plan.independent_groups()):
+            groups = self._dedupe_wave(wave)
+            if self._degraded is not None:
+                # A mid-plan degrade finishes the remaining waves inline;
+                # subsequent plans route through _run_plan_degraded.
+                self._run_groups_inline(
+                    gate, plan, groups, compressor, op_key, local_control_mask
+                )
+                continue
+            self._execute_wave(
+                pool,
+                gate,
+                plan,
+                wave_index,
+                groups,
+                base_message,
+                compressor,
+                op_key,
+                local_control_mask,
+            )
+
+    def _execute_wave(
+        self,
+        pool: ProcessPool,
+        gate: Gate,
+        plan: GatePlan,
+        wave_index: int,
+        groups: list[list[BlockTask]],
+        base_message: tuple,
+        compressor: Compressor,
+        op_key: tuple,
+        local_control_mask: np.ndarray | None,
+    ) -> None:
+        """Run one wave's task groups on the pool, recovering per the policy.
+
+        Committed groups stay committed across retries — the parent's block
+        store is authoritative, every group commits atomically at collect
+        time, and only still-pending groups are re-dispatched — so replay
+        after a worker death or a corrupted frame is bit-identical to an
+        undisturbed run.
+        """
+
+        blocks_per_rank = self._state.partition.blocks_per_rank
+        pending = list(groups)
+        attempt = 0
+        while True:
             queues: dict[int, list[list[BlockTask]]] = {}
-            for tasks in self._dedupe_wave(wave):
+            for tasks in pending:
                 rank, block = tasks[0].first
                 worker_id = (rank * blocks_per_rank + block) % pool.num_workers
                 queues.setdefault(worker_id, []).append(tasks)
             in_flight: dict[tuple[int, int], list[BlockTask]] = {}
-            while queues or in_flight:
-                for worker_id in list(queues):
-                    pending = queues[worker_id]
-                    while pending and self._can_submit(pool, worker_id):
-                        tasks = pending.pop(0)
-                        ticket = self._dispatch(pool, worker_id, base_message, tasks)
-                        in_flight[(worker_id, ticket)] = tasks
-                    if not pending:
-                        del queues[worker_id]
-                if in_flight:
-                    self._collect_one(pool, in_flight, compressor)
+            try:
+                while queues or in_flight:
+                    for worker_id in list(queues):
+                        queue = queues[worker_id]
+                        while queue and self._can_submit(pool, worker_id):
+                            # Pop only after the submit succeeds: a crash
+                            # detected at dispatch leaves the group queued
+                            # for the retry pass.
+                            tasks = queue[0]
+                            ticket = self._dispatch(
+                                pool, worker_id, base_message, tasks
+                            )
+                            queue.pop(0)
+                            in_flight[(worker_id, ticket)] = tasks
+                        if not queue:
+                            del queues[worker_id]
+                    if in_flight:
+                        self._collect_one(pool, in_flight, compressor)
+                return
+            except (WorkerCrashedError, BlockCorruptionError) as exc:
+                lost_start = time.perf_counter()
+                self._drain_survivors(pool, in_flight, compressor)
+                pending = [tasks for queue in queues.values() for tasks in queue]
+                pending.extend(in_flight.values())
+                if not pending:  # pragma: no cover - defensive
+                    return
+                if attempt < self._policy.max_retries:
+                    attempt += 1
+                    restarted = pool.heal()
+                    self._report.record_recovery(
+                        retries=1,
+                        waves_replayed=1,
+                        restarts=len(restarted),
+                        time_lost_seconds=time.perf_counter() - lost_start,
+                    )
+                    delay = self._policy.backoff_seconds(attempt - 1)
+                    if delay > 0:
+                        time.sleep(delay)
+                    continue
+                if self._policy.degrade_to:
+                    tier = self._policy.degrade_to[0]
+                    self._enter_degraded(tier)
+                    self._report.record_recovery(
+                        degraded_to=tier,
+                        time_lost_seconds=time.perf_counter() - lost_start,
+                    )
+                    self._run_groups_inline(
+                        gate, plan, pending, compressor, op_key, local_control_mask
+                    )
+                    return
+                exc.wave_index = wave_index
+                exc.gate = gate.name
+                raise
+
+    def _drain_survivors(
+        self,
+        pool: ProcessPool,
+        in_flight: dict[tuple[int, int], list[BlockTask]],
+        compressor: Compressor,
+    ) -> None:
+        """Collect every still-valid reply after a failure surfaced.
+
+        Healthy workers' results commit normally (and leave ``in_flight``);
+        further corrupted frames stay pending for replay; dead workers'
+        outstanding tickets are abandoned (their replies can never arrive).
+        On return the pool owes nothing, and ``in_flight`` holds exactly the
+        groups that must be re-dispatched.
+        """
+
+        while pool.has_outstanding():
+            try:
+                self._collect_one(pool, in_flight, compressor)
+            except BlockCorruptionError:
+                continue
+            except WorkerCrashedError as exc:
+                if exc.worker_id is not None:
+                    pool.abandon_outstanding(exc.worker_id)
+                    continue
+                dead = pool.dead_workers()
+                if not dead:
+                    raise  # not a corpse: a stuck pool cannot be drained
+                for worker_id in dead:
+                    pool.abandon_outstanding(worker_id)
+
+    def _enter_degraded(self, tier: str) -> None:
+        """Tear down the process pool and move to a lower executor tier.
+
+        The thread tier leases two scratch buffers per concurrent task from
+        the *parent* pool (workers held their own), so the scratch pool is
+        regrown before the first threaded wave runs.
+        """
+
+        self._degraded = tier
+        pool, self._proc_pool = self._proc_pool, None
+        if pool is not None:
+            pool.close(join_timeout=0.5)
+        if tier == "thread" and self._scratch.num_buffers < 2 * self._num_workers:
+            self._scratch = ScratchPool(
+                self._scratch.block_amplitudes, buffers=2 * self._num_workers
+            )
+
+    def _run_groups_inline(
+        self,
+        gate: Gate,
+        plan: GatePlan,
+        groups: list[list[BlockTask]],
+        compressor: Compressor,
+        op_key: tuple,
+        local_control_mask: np.ndarray | None,
+    ) -> None:
+        """Finish a wave's task groups in the parent process (degrade path)."""
+
+        for tasks in groups:
+            out1, out2 = self._run_task(
+                gate, plan, tasks[0], compressor, op_key, local_control_mask
+            )
+            self._fan_out_duplicates(tasks, out1, out2, compressor)
+
+    def _run_plan_degraded(
+        self,
+        gate: Gate,
+        plan: GatePlan,
+        compressor: Compressor,
+        op_key: tuple,
+        local_control_mask: np.ndarray | None,
+    ) -> None:
+        """Run a whole plan on the degraded tier (thread pool or inline)."""
+
+        if self._degraded == "thread":
+            TaskExecutor.run_plan(
+                self, gate, plan, compressor, op_key, local_control_mask
+            )
+            return
+        self._account_exchanges(plan)
+        for task in plan.tasks:
+            self._run_task(gate, plan, task, compressor, op_key, local_control_mask)
 
     @staticmethod
     def _can_submit(pool: ProcessPool, worker_id: int) -> bool:
@@ -523,14 +722,22 @@ class ProcessTaskExecutor(TaskExecutor):
         if reply[0] == "err":
             raise_worker_error(reply, f"block task failed in pool worker {worker_id}")
         _, ticket, out_refs, stats = reply
-        tasks = in_flight.pop((worker_id, ticket))
+        tasks = in_flight[(worker_id, ticket)]
         task = tasks[0]
-        out1 = pool.read_frame(worker_id, out_refs[0])
-        out2 = (
-            pool.read_frame(worker_id, out_refs[1])
-            if out_refs[1] is not None
-            else None
-        )
+        # Read both frames before committing anything: a corrupted frame
+        # must leave the group fully uncommitted (still in in_flight) so the
+        # recovery pass replays it from the parent's authoritative blobs.
+        try:
+            out1 = pool.read_frame(worker_id, out_refs[0])
+            out2 = (
+                pool.read_frame(worker_id, out_refs[1])
+                if out_refs[1] is not None
+                else None
+            )
+        except BlockCorruptionError as exc:
+            exc.ticket = ticket
+            raise
+        del in_flight[(worker_id, ticket)]
 
         self._report.add_count("tasks_executed")
         self._state.put_block(task.first[0], task.first[1], out1, compressor)

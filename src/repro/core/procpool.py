@@ -33,12 +33,14 @@ import os
 import pickle
 import time
 import traceback
+import zlib
 from multiprocessing import connection as mp_connection
 from multiprocessing import get_context, shared_memory
 
 import numpy as np
 
 from ..compression.interface import Compressor
+from ..errors import BlockCorruptionError, WorkerCrashedError
 from ..statevector import ops
 from .blocks import ScratchPool
 from .cache import BlockCache
@@ -47,6 +49,7 @@ __all__ = [
     "ProcessPool",
     "BlockTaskWorker",
     "WorkerCrashedError",
+    "BlockCorruptionError",
     "effective_cpu_count",
     "SLOTS_PER_WORKER",
 ]
@@ -75,10 +78,6 @@ def effective_cpu_count() -> int:
         except OSError:  # pragma: no cover - exotic platforms
             pass
     return os.cpu_count() or 1
-
-
-class WorkerCrashedError(RuntimeError):
-    """A pool worker died (or stopped responding) with tasks outstanding."""
 
 
 def raise_worker_error(reply: tuple, context: str) -> None:
@@ -121,10 +120,13 @@ class SlotArena:
     """A shared-memory segment divided into fixed-size payload slots.
 
     One side writes a batch of byte payloads into a slot and describes them
-    with ``("shm", slot, start, length)`` frame references shipped through
-    the control pipe; the other side reads them zero-copy off the mapping.
-    The slot-reuse discipline (ticket modulo :data:`SLOTS_PER_WORKER`, with
-    the outstanding cap) makes the arena race-free without any locking.
+    with ``("shm", slot, start, length, crc32)`` frame references shipped
+    through the control pipe; the other side reads them zero-copy off the
+    mapping and verifies the checksum, so a scribbled segment surfaces as a
+    typed :class:`~repro.errors.BlockCorruptionError` instead of a garbage
+    decode deep inside a codec.  The slot-reuse discipline (ticket modulo
+    :data:`SLOTS_PER_WORKER`, with the outstanding cap) makes the arena
+    race-free without any locking.
     """
 
     def __init__(
@@ -164,16 +166,40 @@ class SlotArena:
         cursor = 0
         for payload in payloads:
             view[base + cursor : base + cursor + len(payload)] = payload
-            refs.append(("shm", slot, cursor, len(payload)))
+            refs.append(
+                ("shm", slot, cursor, len(payload), zlib.crc32(payload))
+            )
             cursor += len(payload)
         return refs
 
     def read(self, ref: tuple) -> bytes:
-        """Materialise the payload a frame reference points at."""
+        """Materialise (and checksum-verify) the payload a reference points at."""
 
-        _, slot, start, length = ref
+        _, slot, start, length, expected_crc = ref
         base = slot * self._slot_bytes + start
-        return bytes(self._shm.buf[base : base + length])
+        payload = bytes(self._shm.buf[base : base + length])
+        actual_crc = zlib.crc32(payload)
+        if actual_crc != expected_crc:
+            raise BlockCorruptionError(
+                "shared-memory payload failed its checksum",
+                slot=slot,
+                expected_crc=expected_crc,
+                actual_crc=actual_crc,
+            )
+        return payload
+
+    def corrupt(self, ref: tuple) -> None:
+        """Flip one byte of the region a reference points at (fault injection).
+
+        Used by the deterministic fault harness to prove that corruption is
+        detected and retried; never called outside injected-fault paths.
+        """
+
+        _, slot, start, length, _ = ref
+        if length <= 0:  # pragma: no cover - empty payloads are never framed
+            return
+        base = slot * self._slot_bytes + start
+        self._shm.buf[base] = self._shm.buf[base] ^ 0xFF
 
     def close(self) -> None:
         """Detach from the segment; the creating side also unlinks it."""
@@ -199,12 +225,18 @@ def _pack_frames(
     return [("inline", payload) for payload in payloads]
 
 
-def _read_frame(arena: SlotArena | None, ref: tuple) -> bytes:
+def _read_frame(
+    arena: SlotArena | None, ref: tuple, worker_id: int | None = None
+) -> bytes:
     if ref[0] == "inline":
         return ref[1]
     if arena is None:
         raise WorkerCrashedError("shm frame reference without an arena")
-    return arena.read(ref)
+    try:
+        return arena.read(ref)
+    except BlockCorruptionError as exc:
+        exc.worker_id = worker_id
+        raise
 
 
 # ---------------------------------------------------------------------------
@@ -320,6 +352,12 @@ class ProcessPool:
     start_method:
         ``"fork"``, ``"spawn"``, ``"forkserver"`` or ``None`` for the
         platform default.
+    fault_policy:
+        Optional :class:`~repro.resilience.FaultPolicy` of the owning run.
+        The pool itself never retries — recovery belongs to the executors —
+        but the policy gates probabilistic chaos injection: chaos kills are
+        only armed when the policy can survive them (``max_retries > 0``).
+        Targeted fault-plan injections are always armed.
     """
 
     def __init__(
@@ -331,6 +369,7 @@ class ProcessPool:
         worker_args: list[tuple] | None = None,
         slot_bytes: int = 0,
         start_method: str | None = None,
+        fault_policy=None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
@@ -339,54 +378,83 @@ class ProcessPool:
                 f"worker_args has {len(worker_args)} entries for "
                 f"{num_workers} workers"
             )
-        context = get_context(start_method)
+        # Everything a dead worker's replacement needs is kept around, so
+        # respawn_worker() can rebuild the warm state from scratch.
+        self._context = get_context(start_method)
+        self._state_factory = state_factory
+        self._init_args = init_args
+        self._worker_args = worker_args
+        self._slot_bytes = slot_bytes
+        from ..resilience import faults as _faults
+
+        chaos_allowed = bool(
+            fault_policy is not None and fault_policy.max_retries > 0
+        )
+        self._faults = _faults.arm_for_pool(
+            getattr(state_factory, "POOL_KIND", "task"),
+            num_workers,
+            chaos_allowed,
+        )
         self._workers: list[_WorkerHandle] = []
         try:
             for worker_index in range(num_workers):
-                in_arena = out_arena = None
-                try:
-                    if slot_bytes:
-                        in_arena = SlotArena(
-                            slots=SLOTS_PER_WORKER, slot_bytes=slot_bytes
-                        )
-                        out_arena = SlotArena(
-                            slots=SLOTS_PER_WORKER, slot_bytes=slot_bytes
-                        )
-                    parent_conn, child_conn = context.Pipe()
-                    extra = worker_args[worker_index] if worker_args else ()
-                    process = context.Process(
-                        target=_pool_worker_main,
-                        args=(
-                            child_conn,
-                            state_factory,
-                            init_args + tuple(extra),
-                            in_arena.name if in_arena else None,
-                            out_arena.name if out_arena else None,
-                            SLOTS_PER_WORKER,
-                            slot_bytes,
-                        ),
-                        # Not daemonic: circuit-fanout workers may themselves
-                        # use a process executor, and daemons cannot have
-                        # children.  Workers exit on pipe EOF, so they never
-                        # outlive the parent's handles.
-                        daemon=False,
-                    )
-                    process.start()
-                except BaseException:
-                    # This iteration's arenas are not yet in _workers, so
-                    # the outer close() would leak them (shm stays mapped
-                    # and linked until interpreter exit).
-                    for arena in (in_arena, out_arena):
-                        if arena is not None:
-                            arena.close()
-                    raise
-                child_conn.close()
-                self._workers.append(
-                    _WorkerHandle(process, parent_conn, in_arena, out_arena)
-                )
+                self._workers.append(self._spawn_worker(worker_index))
         except BaseException:
             self.close()
             raise
+
+    def _spawn_worker(
+        self,
+        worker_index: int,
+        in_arena: SlotArena | None = None,
+        out_arena: SlotArena | None = None,
+    ) -> _WorkerHandle:
+        """Start one worker process; arenas are created unless handed in
+        (respawn reuses the dead worker's segments)."""
+
+        created: list[SlotArena] = []
+        try:
+            if self._slot_bytes and in_arena is None:
+                in_arena = SlotArena(
+                    slots=SLOTS_PER_WORKER, slot_bytes=self._slot_bytes
+                )
+                created.append(in_arena)
+            if self._slot_bytes and out_arena is None:
+                out_arena = SlotArena(
+                    slots=SLOTS_PER_WORKER, slot_bytes=self._slot_bytes
+                )
+                created.append(out_arena)
+            parent_conn, child_conn = self._context.Pipe()
+            extra = (
+                self._worker_args[worker_index] if self._worker_args else ()
+            )
+            process = self._context.Process(
+                target=_pool_worker_main,
+                args=(
+                    child_conn,
+                    self._state_factory,
+                    self._init_args + tuple(extra),
+                    in_arena.name if in_arena else None,
+                    out_arena.name if out_arena else None,
+                    SLOTS_PER_WORKER,
+                    self._slot_bytes,
+                ),
+                # Not daemonic: circuit-fanout workers may themselves
+                # use a process executor, and daemons cannot have
+                # children.  Workers exit on pipe EOF, so they never
+                # outlive the parent's handles.
+                daemon=False,
+            )
+            process.start()
+        except BaseException:
+            # Arenas created here are not yet owned by a _WorkerHandle, so
+            # the caller's cleanup would leak them (shm stays mapped and
+            # linked until interpreter exit).
+            for arena in created:
+                arena.close()
+            raise
+        child_conn.close()
+        return _WorkerHandle(process, parent_conn, in_arena, out_arena)
 
     @property
     def num_workers(self) -> int:
@@ -412,6 +480,10 @@ class ProcessPool:
                 f"worker {worker_id} already has {worker.outstanding} outstanding "
                 f"tasks (cap {SLOTS_PER_WORKER}); collect a response first"
             )
+        if self._faults is not None:
+            victim = self._faults.on_submit(worker_id, message[0])
+            if victim is not None:
+                self._inject_kill(victim)
         ticket = worker.next_ticket
         worker.next_ticket += 1
         frames = _pack_frames(
@@ -424,10 +496,36 @@ class ProcessPool:
         worker.outstanding += 1
         return ticket
 
-    def read_frame(self, worker_id: int, ref: tuple) -> bytes:
-        """Materialise an output frame reference returned by a worker."""
+    def _inject_kill(self, worker_id: int) -> None:
+        """Kill a worker on behalf of an armed fault plan (SIGKILL, reaped).
 
-        return _read_frame(self._workers[worker_id].out_arena, ref)
+        The join makes the death visible before the triggering submission
+        proceeds, so injected crashes surface deterministically instead of
+        racing the pipe.
+        """
+
+        process = self._workers[worker_id].process
+        if process.is_alive():
+            process.kill()
+            process.join(timeout=10.0)
+
+    def read_frame(self, worker_id: int, ref: tuple) -> bytes:
+        """Materialise an output frame reference returned by a worker.
+
+        Shared-memory frames are checksum-verified; a mismatch raises
+        :class:`~repro.errors.BlockCorruptionError` carrying the worker id.
+        """
+
+        worker = self._workers[worker_id]
+        if (
+            self._faults is not None
+            and ref is not None
+            and ref[0] == "shm"
+            and worker.out_arena is not None
+            and self._faults.on_read_frame(worker_id)
+        ):
+            worker.out_arena.corrupt(ref)
+        return _read_frame(worker.out_arena, ref, worker_id=worker_id)
 
     def can_submit(self, worker_id: int) -> bool:
         """Whether the worker has a free outstanding-task slot."""
@@ -498,14 +596,89 @@ class ProcessPool:
         exitcode = worker.process.exitcode
         return WorkerCrashedError(
             f"pool worker {worker_id} (pid {worker.process.pid}) died "
-            f"mid-plan (exit code {exitcode}); the simulation state is "
-            "incomplete — rebuild the simulator to continue"
+            "mid-plan; the in-flight wave must be replayed (or the "
+            "simulator rebuilt) to continue",
+            worker_id=worker_id,
+            pid=worker.process.pid,
+            exitcode=exitcode,
         )
+
+    # -- self-healing -----------------------------------------------------------------
+
+    def worker_alive(self, worker_id: int) -> bool:
+        """Whether a worker's process is currently alive."""
+
+        return self._workers[worker_id].process.is_alive()
+
+    def dead_workers(self) -> list[int]:
+        """Ids of all workers whose processes have died."""
+
+        return [
+            worker_id
+            for worker_id, worker in enumerate(self._workers)
+            if not worker.process.is_alive()
+        ]
+
+    def abandon_outstanding(self, worker_id: int) -> int:
+        """Forget a dead worker's outstanding tickets; returns how many.
+
+        After this, :meth:`recv_any`/:meth:`has_outstanding` no longer wait
+        on the corpse — the caller owns re-dispatching the abandoned work
+        (it knows which tasks the tickets carried; the pool does not).
+        """
+
+        worker = self._workers[worker_id]
+        abandoned = worker.outstanding
+        worker.outstanding = 0
+        return abandoned
+
+    def respawn_worker(self, worker_id: int) -> None:
+        """Replace a dead worker with a fresh process in the same seat.
+
+        The replacement rebuilds its warm state (decompressor map, scratch
+        buffers, cache shard) from the original factory arguments and reuses
+        the dead worker's shared-memory arenas, so callers keep their
+        worker-id routing and frame references unchanged.  Any outstanding
+        tickets of the old worker are dropped — abandon and re-dispatch them
+        first.
+        """
+
+        old = self._workers[worker_id]
+        if old.process.is_alive():
+            old.process.kill()
+        old.process.join(timeout=10.0)
+        try:
+            old.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+        self._workers[worker_id] = self._spawn_worker(
+            worker_id, in_arena=old.in_arena, out_arena=old.out_arena
+        )
+
+    def heal(self) -> list[int]:
+        """Respawn every dead worker; returns the respawned ids.
+
+        Outstanding tickets of each corpse are abandoned as part of healing
+        (their replies can never arrive); the caller re-dispatches that work.
+        """
+
+        respawned = []
+        for worker_id in self.dead_workers():
+            self.abandon_outstanding(worker_id)
+            self.respawn_worker(worker_id)
+            respawned.append(worker_id)
+        return respawned
 
     # -- lifecycle --------------------------------------------------------------------
 
-    def close(self) -> None:
-        """Shut every worker down (idempotent)."""
+    def close(self, join_timeout: float = 3.0) -> None:
+        """Shut every worker down (idempotent).
+
+        Teardown is bounded: a graceful join of *join_timeout* seconds, then
+        SIGTERM, then SIGKILL — a wedged child can never block interpreter
+        exit, and every worker is reaped (no zombies) before the arenas are
+        unlinked.
+        """
 
         workers, self._workers = self._workers, []
         for worker in workers:
@@ -514,10 +687,13 @@ class ProcessPool:
             except (BrokenPipeError, OSError):
                 pass
         for worker in workers:
-            worker.process.join(timeout=3.0)
+            worker.process.join(timeout=join_timeout)
             if worker.process.is_alive():  # pragma: no cover - stuck worker
                 worker.process.terminate()
                 worker.process.join(timeout=1.0)
+            if worker.process.is_alive():  # pragma: no cover - wedged worker
+                worker.process.kill()
+                worker.process.join(timeout=5.0)
             try:
                 worker.conn.close()
             except OSError:  # pragma: no cover
@@ -559,6 +735,10 @@ class BlockTaskWorker:
     an optional :class:`BlockCache` shard.  Tasks are routed to workers by
     block affinity, so a shard sees every recurrence of its blocks' patterns.
     """
+
+    #: Dominant message kind, consulted by the fault harness when arming
+    #: chaos injection for a pool of these workers.
+    POOL_KIND = "task"
 
     def __init__(
         self,

@@ -86,6 +86,13 @@ class SimulationReport:
     #: the modelled traffic).
     rank_comm: list | None = None
 
+    #: Fault-recovery accounting, or ``None`` when the run never recovered
+    #: from (or prepared for) a failure: retries, waves/gates replayed, time
+    #: lost re-executing, checkpoints written, pool restarts, and the
+    #: executor tier degraded to (if the retry ladder was exhausted).  Fed by
+    #: :meth:`record_recovery` from the resilience machinery.
+    recovery: dict | None = None
+
     _buckets: dict = field(default_factory=dict, repr=False)
     #: Guards the accumulators: with ``num_workers > 1`` timers and counters
     #: are fed from the executor's worker threads.  Time buckets then sum
@@ -121,6 +128,44 @@ class SimulationReport:
     def observe_footprint(self, footprint_bytes: int) -> None:
         if footprint_bytes > self.peak_footprint_bytes:
             self.peak_footprint_bytes = footprint_bytes
+
+    def record_recovery(
+        self,
+        *,
+        retries: int = 0,
+        waves_replayed: int = 0,
+        gates_replayed: int = 0,
+        time_lost_seconds: float = 0.0,
+        checkpoints_written: int = 0,
+        restarts: int = 0,
+        degraded_to: str | None = None,
+    ) -> None:
+        """Thread-safe accumulation into the :attr:`recovery` section.
+
+        The section is created lazily on first call, so reports of runs that
+        never exercised recovery keep ``recovery is None`` (and their JSON
+        stays unchanged).
+        """
+
+        with self._mutex:
+            if self.recovery is None:
+                self.recovery = {
+                    "retries": 0,
+                    "waves_replayed": 0,
+                    "gates_replayed": 0,
+                    "time_lost_seconds": 0.0,
+                    "checkpoints_written": 0,
+                    "restarts": 0,
+                    "degraded_to": None,
+                }
+            self.recovery["retries"] += retries
+            self.recovery["waves_replayed"] += waves_replayed
+            self.recovery["gates_replayed"] += gates_replayed
+            self.recovery["time_lost_seconds"] += time_lost_seconds
+            self.recovery["checkpoints_written"] += checkpoints_written
+            self.recovery["restarts"] += restarts
+            if degraded_to is not None:
+                self.recovery["degraded_to"] = degraded_to
 
     # -- derived quantities --------------------------------------------------------------
 
@@ -188,6 +233,7 @@ class SimulationReport:
             "final_error_bound": self.final_error_bound,
             "escalations": self.escalations,
             "rank_comm": self.rank_comm,
+            "recovery": dict(self.recovery) if self.recovery is not None else None,
         }
         data.update({f"{k}_fraction": v for k, v in self.breakdown().items()})
         return data
@@ -221,4 +267,15 @@ class SimulationReport:
             f"final error bound    : {self.final_error_bound:g}",
             f"escalations          : {self.escalations}",
         ]
+        if self.recovery is not None:
+            degraded = self.recovery["degraded_to"]
+            lines.append(
+                f"recovery             : {self.recovery['retries']} retries, "
+                f"{self.recovery['waves_replayed']} waves / "
+                f"{self.recovery['gates_replayed']} gates replayed, "
+                f"{self.recovery['restarts']} restarts, "
+                f"{self.recovery['checkpoints_written']} checkpoints, "
+                f"{self.recovery['time_lost_seconds']:.3f} s lost"
+                + (f", degraded to {degraded}" if degraded else "")
+            )
         return "\n".join(lines)

@@ -26,8 +26,13 @@ state vector stays compressed.  Per gate (Figure 2):
 
 from __future__ import annotations
 
+import os
+import shutil
+import tempfile
+import time
 import warnings
 from dataclasses import replace
+from pathlib import Path
 from typing import Iterable, Iterator
 
 import numpy as np
@@ -38,6 +43,8 @@ from ..compression.interface import Compressor, get_compressor
 from ..distributed.comm import SimulatedCommunicator
 from ..distributed.exchange import plan_gate
 from ..distributed.partition import Partition, QubitSegment
+from ..errors import ProcessCommTimeout, WorkerCrashedError
+from ..resilience import resolve_fault_policy
 from ..statevector import ops
 from .adaptive import AdaptiveErrorController
 from .blocks import CompressedBlock, ScratchPool
@@ -80,6 +87,8 @@ class CompressedSimulator:
             raise ValueError("need at least one qubit")
         self._config = config or SimulatorConfig()
         self._num_qubits = int(num_qubits)
+        self._initial_basis_state = int(initial_basis_state)
+        self._policy = resolve_fault_policy(self._config.fault_policy)
 
         block_amplitudes = self._config.resolve_block_amplitudes(
             num_qubits, self._config.num_ranks
@@ -140,37 +149,17 @@ class CompressedSimulator:
             lossy.name: lossy,
         }
 
-        if ranked_mode:
-            # The ranked tier owns the state: one worker process per rank,
-            # each holding its partition slice, with real inter-rank block
-            # exchange over shared memory.  Imported lazily to keep the
-            # repro.distributed package import-light.
-            from ..distributed.ranked import RankedExecutor, RankedStateVector
+        # In-run resilience bookkeeping (the ranked recovery path): gates
+        # applied since the last resilience checkpoint, the path of that
+        # checkpoint, and a lazily created temp directory for it when the
+        # policy does not pin one.
+        self._replay_log: list[Gate] = []
+        self._resilience_ckpt: Path | None = None
+        self._ckpt_tempdir: str | None = None
+        self._ranked_generation = 0
 
-            ranked = RankedExecutor(
-                partition=self._partition,
-                decompressors=self._decompressors,
-                report=self._report,
-                comm_sink=self._comm,
-                cache=self._cache,
-                cache_lines=self._config.cache_lines,
-                cache_miss_disable_threshold=(
-                    self._config.cache_miss_disable_threshold
-                ),
-                start_method=self._config.mp_start_method,
-            )
-            try:
-                self._state = RankedStateVector(
-                    partition=self._partition,
-                    executor=ranked,
-                    comm=self._comm,
-                    compressor=self._initial_compressor(),
-                    initial_basis_state=initial_basis_state,
-                )
-            except BaseException:
-                ranked.close()
-                raise
-            self._executor = ranked
+        if ranked_mode:
+            self._build_ranked(initial_basis_state)
             self._gate_index = 0
             return
 
@@ -194,6 +183,7 @@ class CompressedSimulator:
                     self._config.cache_miss_disable_threshold
                 ),
                 start_method=self._config.mp_start_method,
+                fault_policy=self._policy,
             )
         else:
             self._executor = TaskExecutor(
@@ -206,6 +196,43 @@ class CompressedSimulator:
                 num_workers=self._config.num_workers,
             )
         self._gate_index = 0
+
+    def _build_ranked(self, initial_basis_state: int) -> None:
+        """(Re)build the ranked tier: one worker process per rank, each
+        holding its partition slice, with real inter-rank block exchange over
+        shared memory.  Imported lazily to keep the repro.distributed package
+        import-light.  Called from ``__init__`` and again from
+        :meth:`_recover_ranked` after a rank death tears the pool down.
+        """
+
+        from ..distributed.ranked import RankedExecutor, RankedStateVector
+
+        ranked = RankedExecutor(
+            partition=self._partition,
+            decompressors=self._decompressors,
+            report=self._report,
+            comm_sink=self._comm,
+            cache=self._cache,
+            cache_lines=self._config.cache_lines,
+            cache_miss_disable_threshold=(
+                self._config.cache_miss_disable_threshold
+            ),
+            start_method=self._config.mp_start_method,
+            fault_policy=self._policy,
+            pool_generation=self._ranked_generation,
+        )
+        try:
+            self._state = RankedStateVector(
+                partition=self._partition,
+                executor=ranked,
+                comm=self._comm,
+                compressor=self._initial_compressor(),
+                initial_basis_state=initial_basis_state,
+            )
+        except BaseException:
+            ranked.close()
+            raise
+        self._executor = ranked
 
     # -- public accessors -----------------------------------------------------------
 
@@ -260,9 +287,14 @@ class CompressedSimulator:
 
     def close(self) -> None:
         """Release the executor's workers — threads or processes (idempotent;
-        a no-op for the sequential thread tier)."""
+        a no-op for the sequential thread tier) — and any temporary
+        resilience-checkpoint directory this simulator created."""
 
         self._executor.close()
+        if self._ckpt_tempdir is not None:
+            shutil.rmtree(self._ckpt_tempdir, ignore_errors=True)
+            self._ckpt_tempdir = None
+            self._resilience_ckpt = None
 
     def __enter__(self) -> "CompressedSimulator":
         return self
@@ -306,6 +338,9 @@ class CompressedSimulator:
         self._executor.rebind_report(self._report)
         self._executor.reset_workers()
         self._gate_index = 0
+        # Any in-run resilience checkpoint describes the pre-reset state.
+        self._replay_log.clear()
+        self._resilience_ckpt = None
 
     def fork(self) -> "CompressedSimulator":
         """Snapshot this simulator's state into an independent copy.
@@ -386,12 +421,32 @@ class CompressedSimulator:
         return self.apply_circuit(circuit)
 
     def apply_gate(self, gate: Gate) -> None:
-        """Apply a single gate to the compressed state."""
+        """Apply a single gate to the compressed state.
+
+        On the ranked tier with an active :class:`~repro.resilience.FaultPolicy`
+        (``max_retries > 0`` or a checkpoint interval), a rank-worker death or
+        communicator timeout is *recovered* instead of raised: the rank pool
+        is torn down and rebuilt, the state reloads from the last in-run
+        resilience checkpoint (or the initial state), the gates since then
+        replay, and this gate retries — bit-identical to a failure-free run
+        because every layer below is deterministic.
+        """
 
         if gate.max_qubit() >= self._num_qubits:
             raise ValueError(
                 f"gate {gate.name} touches qubit {gate.max_qubit()} outside the register"
             )
+        if self._ranked_resilience:
+            self._apply_gate_resilient(gate)
+        else:
+            self._apply_gate_once(gate)
+
+    def _apply_gate_once(self, gate: Gate) -> None:
+        """One attempt at a gate: plan, execute, then commit the per-gate
+        bookkeeping (counters, fidelity, escalation).  The bookkeeping only
+        runs after ``run_plan`` returns, so a failed attempt leaves the
+        parent-side counters untouched and replay stays exact."""
+
         plan = plan_gate(self._partition, gate)
         compressor = self._controller.compressor()
         op_key = gate.key() + (compressor.describe(),)
@@ -411,6 +466,140 @@ class CompressedSimulator:
             self._report.escalations += 1
 
         self._sync_report()
+
+    # -- ranked-tier fault recovery -----------------------------------------------------
+
+    @property
+    def _ranked_resilience(self) -> bool:
+        return self._config.comm == "process" and (
+            self._policy.max_retries > 0
+            or self._policy.checkpoint_interval_waves > 0
+        )
+
+    def _apply_gate_resilient(self, gate: Gate) -> None:
+        """Apply one gate with the detect → contain → recover loop around it."""
+
+        policy = self._policy
+        attempt = 0
+        while True:
+            try:
+                self._apply_gate_once(gate)
+                break
+            except (WorkerCrashedError, ProcessCommTimeout):
+                if attempt >= policy.max_retries:
+                    raise
+                attempt += 1
+                lost_start = time.perf_counter()
+                replayed = self._recover_ranked()
+                self._report.record_recovery(
+                    retries=1,
+                    restarts=self._partition.num_ranks,
+                    gates_replayed=replayed,
+                    waves_replayed=replayed,
+                    time_lost_seconds=time.perf_counter() - lost_start,
+                )
+                backoff = policy.backoff_seconds(attempt - 1)
+                if backoff > 0:
+                    time.sleep(backoff)
+        self._replay_log.append(gate)
+        self._maybe_resilience_checkpoint()
+
+    def _recover_ranked(self) -> int:
+        """Tear down the rank pool, reload the last checkpoint, replay.
+
+        Returns the number of gates replayed.  The sequence is:
+
+        1. Close the (partially dead) executor with a short join timeout —
+           surviving ranks may be blocked in an exchange with the dead peer
+           and need the SIGTERM escalation.
+        2. Rewind the parent-side bookkeeping (gate index, fidelity history,
+           adaptive-controller level) to the last resilience checkpoint, or
+           to the start of the run when none was written yet.
+        3. Rebuild the pool and arena, restore the checkpointed blocks into
+           the fresh rank workers.
+        4. Replay the gates applied since the checkpoint through the normal
+           per-gate path, which re-runs the same compressor bounds and
+           escalation decisions (everything below is deterministic).
+        """
+
+        from .checkpoint import read_checkpoint
+
+        self._executor.close(join_timeout=0.5)
+
+        meta = blocks = None
+        if self._resilience_ckpt is not None:
+            # A torn/corrupt snapshot falls back to replay-from-start rather
+            # than failing the recovery.
+            try:
+                meta, blocks = read_checkpoint(self._resilience_ckpt)
+            except Exception:
+                meta = blocks = None
+
+        # Rewind bookkeeping *before* rebuilding: the initial compressor of
+        # the fresh workers must match what a failure-free run would have
+        # used at that point.
+        self._controller = AdaptiveErrorController(self._config)
+        if self._fidelity is not None:
+            self._fidelity.reset()
+        if meta is not None:
+            self._gate_index = int(meta.get("gate_count", 0))
+            if self._fidelity is not None:
+                for bound in meta.get("fidelity_gate_bounds", []):
+                    self._fidelity.record_gate(float(bound))
+            if meta.get("current_bound"):
+                self._controller.force_level(float(meta["current_bound"]))
+        else:
+            self._gate_index = 0
+        self._report.gates_executed = self._gate_index
+
+        # Bump the pool generation so rebuilt rank workers do not re-arm
+        # injected comm faults from the environment (the replay would
+        # deterministically hit the same drop/delay and never converge).
+        self._ranked_generation += 1
+        self._build_ranked(self._initial_basis_state)
+        if blocks is not None:
+            for rank, block, name, bound, blob in blocks:
+                self._state.store.put(
+                    rank,
+                    block,
+                    CompressedBlock(blob=blob, compressor=name, bound=bound),
+                )
+
+        replay = list(self._replay_log)
+        for logged_gate in replay:
+            self._apply_gate_once(logged_gate)
+        return len(replay)
+
+    def _resilience_checkpoint_path(self) -> Path:
+        directory = self._policy.checkpoint_dir
+        if directory is None:
+            if self._ckpt_tempdir is None:
+                self._ckpt_tempdir = tempfile.mkdtemp(prefix="repro-resilience-")
+            directory = self._ckpt_tempdir
+        else:
+            os.makedirs(directory, exist_ok=True)
+        return Path(directory) / "resilience.ckpt"
+
+    def _maybe_resilience_checkpoint(self) -> None:
+        """Write an in-run checkpoint every ``checkpoint_interval_waves``
+        gates (atomically: tmp file + ``os.replace``), clearing the replay
+        log — recovery then replays at most one interval's worth of gates."""
+
+        interval = self._policy.checkpoint_interval_waves
+        if interval <= 0 or not self._replay_log:
+            return
+        if self._gate_index % interval != 0:
+            return
+
+        from .checkpoint import save_checkpoint
+
+        path = self._resilience_checkpoint_path()
+        tmp = path.with_name(path.name + ".tmp")
+        save_checkpoint(self, tmp)
+        os.replace(tmp, path)
+        self._resilience_ckpt = path
+        self._replay_log.clear()
+        self._report.record_recovery(checkpoints_written=1)
 
     # -- planning helpers -------------------------------------------------------------------
 

@@ -55,6 +55,8 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
+from ..errors import ProcessCommTimeout
+from ..resilience import faults as _faults
 from .comm import CommunicationStats, RankCommunicator
 
 __all__ = ["RankCommArena", "ProcessCommunicator", "ProcessCommTimeout"]
@@ -68,15 +70,6 @@ DEFAULT_CHANNEL_CAPACITY = 1 << 16
 
 #: Default deadline for any single blocking communicator operation.
 DEFAULT_TIMEOUT_SECONDS = 120.0
-
-
-class ProcessCommTimeout(RuntimeError):
-    """A blocking communicator operation exceeded its deadline.
-
-    Raised by :class:`ProcessCommunicator` when a peer rank fails to make
-    progress (typically because its process died mid-plan); inside a rank
-    worker it travels back to the parent as an ``("err", ...)`` reply.
-    """
 
 
 def _is_power_of_two(value: int) -> bool:
@@ -300,6 +293,10 @@ class ProcessCommunicator(RankCommunicator):
         Deadline in seconds for any single blocking operation; exceeding it
         raises :class:`ProcessCommTimeout` (a dead peer, not a slow one —
         block compression is bounded work).
+    pool_generation:
+        Rebuild count of the owning rank pool; forwarded to the fault
+        harness so injected comm faults only arm in generation 0 (see
+        :func:`repro.resilience.faults.arm_for_comm`).
     """
 
     def __init__(
@@ -309,6 +306,7 @@ class ProcessCommunicator(RankCommunicator):
         num_ranks: int,
         channel_capacity: int = DEFAULT_CHANNEL_CAPACITY,
         timeout: float = DEFAULT_TIMEOUT_SECONDS,
+        pool_generation: int = 0,
     ) -> None:
         if not _is_power_of_two(num_ranks):
             raise ValueError(f"num_ranks ({num_ranks}) must be a power of two")
@@ -343,6 +341,7 @@ class ProcessCommunicator(RankCommunicator):
         self._stats = CommunicationStats()
         self._op_seconds = {"exchange": 0.0, "allreduce": 0.0, "barrier": 0.0}
         self._closed = False
+        self._fault_state = _faults.arm_for_comm(self._rank, pool_generation)
 
     # -- RankCommunicator surface ---------------------------------------------------
 
@@ -399,6 +398,25 @@ class ProcessCommunicator(RankCommunicator):
                 "one rank bit"
             )
         started = time.perf_counter()
+        if self._fault_state is not None:
+            injected = self._fault_state.on_exchange(self._rank, peer)
+            if injected is not None:
+                action, seconds = injected
+                if action == "drop":
+                    # A dropped channel behaves exactly like a dead peer —
+                    # the deadline error — without spending the wall-clock
+                    # wait (injection is for tests, determinism matters,
+                    # latency does not).
+                    raise ProcessCommTimeout(
+                        f"rank {self._rank}: block exchange with rank "
+                        f"{peer} dropped by injected fault plan",
+                        rank=self._rank,
+                        peer=peer,
+                        op="sendrecv",
+                        elapsed_seconds=self._timeout,
+                        timeout_seconds=self._timeout,
+                    )
+                time.sleep(seconds)
         sender = _ChunkSender(self._channels[(self._rank, peer)], payload)
         receiver = _ChunkReceiver(self._channels[(peer, self._rank)])
         deadline = time.monotonic() + self._timeout
@@ -416,7 +434,12 @@ class ProcessCommunicator(RankCommunicator):
                     raise ProcessCommTimeout(
                         f"rank {self._rank}: block exchange with rank {peer} "
                         f"made no progress for {self._timeout:.0f}s "
-                        "(peer process dead?)"
+                        "(peer process dead?)",
+                        rank=self._rank,
+                        peer=peer,
+                        op="sendrecv",
+                        elapsed_seconds=time.perf_counter() - started,
+                        timeout_seconds=self._timeout,
                     )
         self._stats.exchanges += 1
         self._stats.messages += 1
@@ -468,6 +491,7 @@ class ProcessCommunicator(RankCommunicator):
         """Poll until every rank's counter reaches the current generation."""
 
         target = self._generation
+        started = time.perf_counter()
         deadline = time.monotonic() + self._timeout
         spins = 0
         while not bool((counters >= target).all()):
@@ -482,7 +506,12 @@ class ProcessCommunicator(RankCommunicator):
                     ]
                     raise ProcessCommTimeout(
                         f"rank {self._rank}: {what} stuck waiting on ranks "
-                        f"{laggards} for {self._timeout:.0f}s"
+                        f"{laggards} for {self._timeout:.0f}s",
+                        rank=self._rank,
+                        peer=tuple(laggards),
+                        op=what,
+                        elapsed_seconds=time.perf_counter() - started,
+                        timeout_seconds=self._timeout,
                     )
 
     def reset_stats(self) -> None:

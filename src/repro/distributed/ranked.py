@@ -64,6 +64,7 @@ from ..core.procpool import (
     raise_worker_error,
 )
 from ..core.report import SimulationReport
+from ..errors import ProcessCommTimeout
 from ..statevector import ops
 from .comm import CommunicationStats, SimulatedCommunicator, aggregate_rank_stats
 from .exchange import GatePlan
@@ -122,9 +123,18 @@ class RankWorker:
         Block-cache shard configuration (mirrors the parent's).
     arena_name, channel_capacity, comm_timeout:
         Attachment parameters of the shared communicator arena.
+    pool_generation:
+        Rebuild count of the owning pool; generation > 0 (a recovery
+        rebuild) suppresses injected comm faults so replay converges.
     rank:
         This worker's rank index (appended per worker by the pool).
     """
+
+    #: Dominant message kind, consulted by the fault harness when arming
+    #: chaos injection.  "gate" keeps rank pools out of probabilistic chaos
+    #: (rank death tears down the whole pool; dedicated deterministic tests
+    #: cover that recovery path instead).
+    POOL_KIND = "gate"
 
     def __init__(
         self,
@@ -138,6 +148,7 @@ class RankWorker:
         arena_name: str,
         channel_capacity: int,
         comm_timeout: float,
+        pool_generation: int,
         rank: int,
     ) -> None:
         self._rank = int(rank)
@@ -152,6 +163,7 @@ class RankWorker:
             num_ranks,
             channel_capacity,
             timeout=comm_timeout,
+            pool_generation=pool_generation,
         )
         self._blocks: dict[int, CompressedBlock] = {}
         self._scratch = ScratchPool(block_amplitudes, buffers=2)
@@ -557,6 +569,15 @@ class RankedExecutor:
     comm_timeout:
         Deadline for any single blocking communicator operation inside the
         workers.
+    fault_policy:
+        Resolved :class:`~repro.resilience.FaultPolicy` of the run, forwarded
+        to the rank pool so targeted fault injections arm consistently.  Rank
+        death itself is recovered one level up (the simulator tears the pool
+        down and resumes from its last resilience checkpoint).
+    pool_generation:
+        Rebuild count of this executor: 0 for the initial build, incremented
+        by the simulator on every recovery rebuild.  Forwarded to the rank
+        workers so injected comm faults only arm in generation 0.
     """
 
     def __init__(
@@ -571,6 +592,8 @@ class RankedExecutor:
         cache_miss_disable_threshold: int | None = 256,
         start_method: str | None = None,
         comm_timeout: float = 120.0,
+        fault_policy=None,
+        pool_generation: int = 0,
     ) -> None:
         self._partition = partition
         self._report = report
@@ -596,10 +619,12 @@ class RankedExecutor:
                     self._arena.name,
                     rank_channel_capacity(partition.block_amplitudes),
                     comm_timeout,
+                    pool_generation,
                 ),
                 worker_args=[(rank,) for rank in range(num_ranks)],
                 slot_bytes=block_slot_bytes(partition.block_amplitudes),
                 start_method=start_method,
+                fault_policy=fault_policy,
             )
         except BaseException:
             self._arena.close()
@@ -649,12 +674,18 @@ class RankedExecutor:
         self._rank_comm = [self._zero_comm() for _ in self._rank_comm]
         self._publish_comm()
 
-    def close(self) -> None:
-        """Shut down the rank workers and the communicator arena (idempotent)."""
+    def close(self, join_timeout: float = 3.0) -> None:
+        """Shut down the rank workers and the communicator arena (idempotent).
+
+        ``join_timeout`` bounds the graceful-exit wait per worker; recovery
+        paths pass a short timeout because surviving ranks may be blocked in
+        a communicator exchange with a dead peer and need the SIGTERM/SIGKILL
+        escalation anyway.
+        """
 
         pool, self._pool = self._pool, None
         if pool is not None:
-            pool.close()
+            pool.close(join_timeout=join_timeout)
         arena, self._arena = self._arena, None
         if arena is not None:
             arena.close()
@@ -781,8 +812,12 @@ class RankedExecutor:
         On a worker ``("err", ...)`` reply the *remaining* outstanding
         replies are still drained before the error is re-raised — otherwise
         a later request would receive a stale queued reply and silently
-        mis-unpack it.  A dead worker (:class:`WorkerCrashedError`)
-        propagates immediately: the pool is unusable either way.
+        mis-unpack it.  Two failures skip the drain and propagate
+        immediately, because the pool must be torn down either way: a dead
+        worker (:class:`WorkerCrashedError`), and a
+        :class:`~repro.errors.ProcessCommTimeout` err reply — the rank's
+        peers are likely still blocked in the matching exchange and would
+        only answer after their *own* deadlines.
         """
 
         replies: list[tuple[int, tuple]] = []
@@ -790,6 +825,8 @@ class RankedExecutor:
         for _ in range(expected):
             worker_id, reply = pool.recv_any()
             if reply[0] == "err":
+                if isinstance(reply[1], ProcessCommTimeout):
+                    raise_worker_error(reply, f"{context} failed on rank {worker_id}")
                 if error is None:
                     error = (worker_id, reply)
                 continue

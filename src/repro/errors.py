@@ -1,0 +1,159 @@
+"""Common error taxonomy of the execution tiers.
+
+Every failure the parallel and distributed tiers can surface derives from
+:class:`ReproError`, so callers can catch one base type regardless of which
+tier raised it.  The concrete classes used to live next to the machinery
+that raises them (:mod:`repro.core.procpool`,
+:mod:`repro.distributed.process_comm`, :mod:`repro.core.checkpoint`); they
+are re-exported from those locations for compatibility, but this module is
+their home and the place where their *structured context* is defined: each
+error carries machine-readable attributes (worker/rank id, wave index, gate
+span, elapsed vs deadline) in addition to the human-readable message, so the
+:mod:`repro.resilience` recovery machinery can route a failure without
+parsing strings.
+
+All classes keep :class:`RuntimeError` in their MRO so pre-existing
+``except RuntimeError`` call sites continue to work, and all of them pickle
+cleanly across process boundaries: the message travels in ``args`` and the
+context attributes in ``__dict__`` (both survive the default
+``BaseException`` reduce protocol), which matters because worker-side errors
+ship to the parent through an ``("err", exc, traceback)`` reply.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "WorkerCrashedError",
+    "ProcessCommTimeout",
+    "BlockCorruptionError",
+    "CheckpointError",
+]
+
+
+class ReproError(RuntimeError):
+    """Base class of every failure raised by the repro execution tiers.
+
+    Subclasses accept keyword-only *context* attributes alongside the
+    message; unset context stays ``None``.  The formatted message embeds the
+    context that is set, so logs stay self-describing, while the attributes
+    remain available for programmatic routing (e.g. "which worker died?").
+    """
+
+    #: Context attribute names, in message-formatting order.  Subclasses
+    #: override this tuple; every name becomes a keyword argument and an
+    #: instance attribute.
+    context_fields: tuple[str, ...] = ()
+
+    def __init__(self, message: str, **context) -> None:
+        unknown = set(context) - set(self.context_fields)
+        if unknown:
+            raise TypeError(
+                f"{type(self).__name__} got unknown context {sorted(unknown)}"
+            )
+        for name in self.context_fields:
+            setattr(self, name, context.get(name))
+        super().__init__(message)
+
+    def context(self) -> dict:
+        """The structured context as a ``{field: value}`` dict (set fields only)."""
+
+        return {
+            name: getattr(self, name)
+            for name in self.context_fields
+            if getattr(self, name) is not None
+        }
+
+    def __str__(self) -> str:  # noqa: D105 - message + context suffix
+        base = super().__str__()
+        details = ", ".join(
+            f"{name}={value}" for name, value in self.context().items()
+        )
+        return f"{base} [{details}]" if details else base
+
+
+class WorkerCrashedError(ReproError):
+    """A pool worker died (or stopped responding) with tasks outstanding.
+
+    Context
+    -------
+    worker_id:
+        Index of the dead worker in its pool (``None`` when the failure is a
+        pool-wide receive timeout rather than one identified corpse).
+    pid:
+        The dead worker's process id.
+    exitcode:
+        Its exit status, when the process could be reaped.
+    wave_index:
+        Index of the gate wave that was in flight when the crash surfaced
+        (filled in by the executor, which owns wave numbering).
+    gate:
+        Name/span of the (possibly fused) gate whose plan was executing.
+    rank:
+        The simulated-MPI rank the worker served (ranked tier only).
+    """
+
+    context_fields = ("worker_id", "pid", "exitcode", "wave_index", "gate", "rank")
+
+
+class ProcessCommTimeout(ReproError):
+    """A blocking communicator operation exceeded its deadline.
+
+    Raised by :class:`repro.distributed.process_comm.ProcessCommunicator`
+    when a peer rank fails to make progress (typically because its process
+    died mid-plan); inside a rank worker it travels back to the parent as an
+    ``("err", ...)`` reply.
+
+    Context
+    -------
+    rank:
+        The rank that timed out waiting.
+    peer:
+        The peer rank (or laggard ranks) it was waiting on.
+    op:
+        The communicator operation ("sendrecv", "allreduce", "barrier").
+    elapsed_seconds:
+        How long the endpoint actually waited.
+    timeout_seconds:
+        The configured deadline it compared against.
+    """
+
+    context_fields = ("rank", "peer", "op", "elapsed_seconds", "timeout_seconds")
+
+
+class BlockCorruptionError(ReproError):
+    """A shared-memory payload failed its per-blob checksum.
+
+    The slot arenas of :mod:`repro.core.procpool` checksum every payload on
+    write and verify on read, so a scribbled shared-memory segment surfaces
+    as this typed error instead of a garbage decode deep inside a codec.
+    The parent holds the authoritative copy of every block until a wave
+    commits, so a corrupted transfer is retried from the parent copy by the
+    resilience machinery.
+
+    Context
+    -------
+    worker_id:
+        Worker whose arena held the corrupt payload.
+    slot:
+        Arena slot index the payload lived in.
+    expected_crc / actual_crc:
+        The checksum mismatch that tripped detection.
+    ticket:
+        Pool ticket of the reply being read (filled by the executor).
+    """
+
+    context_fields = ("worker_id", "slot", "expected_crc", "actual_crc", "ticket")
+
+
+class CheckpointError(ReproError):
+    """A checkpoint file is malformed, truncated or inconsistent.
+
+    Every parse failure inside :func:`repro.core.checkpoint.load_checkpoint`
+    — bad magic, truncated struct fields, junk metadata JSON, blob lengths
+    pointing past end-of-file — is wrapped into this type, so callers probing
+    a possibly-torn checkpoint catch one exception instead of pickle/struct
+    internals.
+    """
+
+    context_fields = ("path",)

@@ -94,3 +94,54 @@ class TestCheckpointRoundTrip:
         resumed = load_checkpoint(path)
         assert resumed.probability_of(0) == pytest.approx(1.0)
         assert resumed.gate_count == 0
+
+
+class TestCheckpointRobustness:
+    """Torn, scribbled or padded files must surface as CheckpointError.
+
+    Recovery code probes possibly-torn checkpoints (e.g. a crash mid-write
+    of an in-run resilience snapshot), so *every* malformed prefix has to
+    raise the one typed error — never succeed, never leak struct/json/pickle
+    internals.
+    """
+
+    @pytest.fixture()
+    def valid_checkpoint(self, tmp_path):
+        simulator = CompressedSimulator(6, _config())
+        simulator.apply_circuit(qft_circuit(6))
+        path = tmp_path / "valid.bin"
+        save_checkpoint(simulator, path)
+        return path.read_bytes(), tmp_path
+
+    def test_truncation_at_every_boundary_rejected(self, valid_checkpoint):
+        payload, tmp_path = valid_checkpoint
+        target = tmp_path / "torn.bin"
+        for length in range(len(payload)):
+            target.write_bytes(payload[:length])
+            with pytest.raises(CheckpointError):
+                load_checkpoint(target)
+
+    def test_corrupted_metadata_json_rejected(self, valid_checkpoint):
+        payload, tmp_path = valid_checkpoint
+        # The metadata JSON starts right after the magic and its u32 length;
+        # scribbling its first byte must not escape as a JSONDecodeError.
+        scribbled = bytearray(payload)
+        scribbled[8 + 4] ^= 0xFF
+        target = tmp_path / "scribbled.bin"
+        target.write_bytes(bytes(scribbled))
+        with pytest.raises(CheckpointError):
+            load_checkpoint(target)
+
+    def test_trailing_bytes_rejected(self, valid_checkpoint):
+        payload, tmp_path = valid_checkpoint
+        target = tmp_path / "padded.bin"
+        target.write_bytes(payload + b"\x00")
+        with pytest.raises(CheckpointError, match="trailing"):
+            load_checkpoint(target)
+
+    def test_bad_magic_rejected(self, valid_checkpoint):
+        payload, tmp_path = valid_checkpoint
+        target = tmp_path / "magic.bin"
+        target.write_bytes(b"QCKPT999" + payload[8:])
+        with pytest.raises(CheckpointError):
+            load_checkpoint(target)

@@ -41,6 +41,12 @@ from repro.core import (
     effective_cpu_count,
 )
 from repro.core.procpool import SlotArena, _pack_frames, _read_frame
+from repro.resilience import FaultPolicy
+
+#: Pin for tests that assert exact failure propagation or exact cache
+#: counters: an inert policy keeps them deterministic even when the suite
+#: runs under a chaos fault plan (the CI chaos job).
+NO_RECOVERY = FaultPolicy(max_retries=0)
 
 
 def _final_state(num_qubits: int, circuit, **config_kwargs) -> np.ndarray:
@@ -189,7 +195,11 @@ class TestProcessExecutorBitIdentity:
     def test_shard_cache_stats_reach_the_report(self):
         circuit = grover_circuit(6, marked=5, iterations=2)
         config = SimulatorConfig(
-            num_ranks=2, block_amplitudes=16, num_workers=2, executor="process"
+            num_ranks=2,
+            block_amplitudes=16,
+            num_workers=2,
+            executor="process",
+            fault_policy=NO_RECOVERY,
         )
         with CompressedSimulator(6, config) as simulator:
             report = simulator.apply_circuit(circuit)
@@ -213,6 +223,7 @@ class TestProcessExecutorBitIdentity:
             num_workers=2,
             executor="process",
             cache_miss_disable_threshold=threshold,
+            fault_policy=NO_RECOVERY,
         )
         with CompressedSimulator(8, config) as simulator:
             report = simulator.apply_circuit(circuit)
@@ -278,7 +289,11 @@ class TestProcessExecutorLifecycle:
 
     def test_worker_death_raises_instead_of_hanging(self):
         config = SimulatorConfig(
-            num_ranks=2, block_amplitudes=16, num_workers=2, executor="process"
+            num_ranks=2,
+            block_amplitudes=16,
+            num_workers=2,
+            executor="process",
+            fault_policy=NO_RECOVERY,
         )
         with CompressedSimulator(6, config) as simulator:
             simulator.apply_circuit(qft_benchmark_circuit(6))
@@ -291,7 +306,11 @@ class TestProcessExecutorLifecycle:
         # The "die" control message is the deterministic crash hook: the
         # worker hard-exits while the executor still expects a response.
         config = SimulatorConfig(
-            num_ranks=2, block_amplitudes=16, num_workers=2, executor="process"
+            num_ranks=2,
+            block_amplitudes=16,
+            num_workers=2,
+            executor="process",
+            fault_policy=NO_RECOVERY,
         )
         with CompressedSimulator(6, config) as simulator:
             simulator.apply_circuit(qft_benchmark_circuit(6))

@@ -277,8 +277,14 @@ class TestLifecycle:
 
 class TestFailureAndValidation:
     def test_rank_death_is_prompt(self):
+        # Pin the fail-fast policy: this test asserts the *detection* path,
+        # which an ambient fault plan (the CI chaos job) would otherwise
+        # upgrade to recovery.
+        from repro.resilience import FaultPolicy
+
         circuit = entangling_circuit()
-        with CompressedSimulator(NUM_QUBITS, ranked_config()) as simulator:
+        config = ranked_config(fault_policy=FaultPolicy(max_retries=0))
+        with CompressedSimulator(NUM_QUBITS, config) as simulator:
             simulator.apply_circuit(circuit)
             simulator.executor.pool.submit(2, ("die",))
             start = time.monotonic()

@@ -1,0 +1,538 @@
+"""Fault-tolerant execution (``repro.resilience``).
+
+The contract under test: with a recovery-enabled :class:`FaultPolicy`, a
+seeded fault plan that kills a process worker mid-run — or a rank worker
+mid-run — still completes and is *bit-identical* (statevector, sampling,
+observables) to a failure-free run; with retries exhausted, the degrade
+ladder falls back one executor tier and still finishes.  The deterministic
+injection harness itself (plan parsing, per-blob checksums, structured
+errors) is covered alongside.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import signal
+import time
+
+import numpy as np
+import pytest
+
+import repro
+from repro import errors
+from repro.applications import qft_benchmark_circuit
+from repro.backends import PauliObservable
+from repro.core import CompressedSimulator, SimulatorConfig, load_checkpoint
+from repro.core.checkpoint import read_checkpoint
+from repro.core.procpool import SlotArena
+from repro.errors import (
+    BlockCorruptionError,
+    CheckpointError,
+    ProcessCommTimeout,
+    ReproError,
+    WorkerCrashedError,
+)
+from repro.resilience import DEGRADE_TIERS, FaultPolicy, resolve_fault_policy
+from repro.resilience import faults
+from repro.resilience.faults import (
+    CorruptFrame,
+    DelayComm,
+    DropComm,
+    FaultPlan,
+    KillWorker,
+    parse_plan,
+)
+
+NUM_QUBITS = 6
+BLOCK = 16
+SHOTS = 64
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan(monkeypatch):
+    """Every test starts and ends with no active plan or policy override."""
+
+    monkeypatch.delenv(faults.PLAN_ENV_VAR, raising=False)
+    monkeypatch.delenv("REPRO_FAULT_POLICY", raising=False)
+    faults.clear_plan()
+    yield
+    faults.clear_plan()
+
+
+def process_config(policy=None, **overrides) -> SimulatorConfig:
+    defaults = dict(
+        num_ranks=2,
+        block_amplitudes=BLOCK,
+        num_workers=2,
+        executor="process",
+        fault_policy=policy,
+    )
+    defaults.update(overrides)
+    return SimulatorConfig(**defaults)
+
+
+def ranked_config(policy=None, **overrides) -> SimulatorConfig:
+    defaults = dict(
+        num_ranks=2,
+        block_amplitudes=BLOCK,
+        comm="process",
+        fault_policy=policy,
+    )
+    defaults.update(overrides)
+    return SimulatorConfig(**defaults)
+
+
+def run_to_outcome(config, circuit):
+    """Run ``circuit``, returning (statevector, sample counts, recovery dict)."""
+
+    with CompressedSimulator(NUM_QUBITS, config) as simulator:
+        simulator.apply_circuit(circuit)
+        statevector = simulator.statevector()
+        counts = simulator.sample_counts(SHOTS, np.random.default_rng(7))
+        recovery = simulator.report().recovery
+    return statevector, counts, recovery
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return qft_benchmark_circuit(NUM_QUBITS)
+
+
+@pytest.fixture(scope="module")
+def baseline(circuit):
+    """Failure-free reference outcome on the same partition geometry."""
+
+    config = SimulatorConfig(num_ranks=2, block_amplitudes=BLOCK)
+    with CompressedSimulator(NUM_QUBITS, config) as simulator:
+        simulator.apply_circuit(circuit)
+        return (
+            simulator.statevector(),
+            simulator.sample_counts(SHOTS, np.random.default_rng(7)),
+        )
+
+
+def assert_bit_identical(statevector, counts, baseline):
+    base_sv, base_counts = baseline
+    assert np.array_equal(
+        statevector.view(np.uint64), base_sv.view(np.uint64)
+    )
+    assert counts == base_counts
+
+
+class TestErrorTaxonomy:
+    def test_old_locations_reexport_the_same_classes(self):
+        import repro.core.checkpoint as checkpoint
+        import repro.core.procpool as procpool
+        import repro.distributed.process_comm as process_comm
+
+        assert procpool.WorkerCrashedError is WorkerCrashedError
+        assert procpool.BlockCorruptionError is BlockCorruptionError
+        assert process_comm.ProcessCommTimeout is ProcessCommTimeout
+        assert checkpoint.CheckpointError is CheckpointError
+        assert repro.WorkerCrashedError is WorkerCrashedError
+        assert repro.core.WorkerCrashedError is WorkerCrashedError
+
+    def test_common_base_keeps_runtimeerror_in_the_mro(self):
+        for cls in (
+            WorkerCrashedError,
+            ProcessCommTimeout,
+            BlockCorruptionError,
+            CheckpointError,
+        ):
+            assert issubclass(cls, ReproError)
+            assert issubclass(cls, RuntimeError)
+        assert errors.ReproError is ReproError
+
+    def test_structured_context_lands_in_message_and_dict(self):
+        error = WorkerCrashedError(
+            "worker 1 died", worker_id=1, pid=4242, exitcode=-9
+        )
+        assert error.worker_id == 1
+        assert error.pid == 4242
+        assert error.context() == {"worker_id": 1, "pid": 4242, "exitcode": -9}
+        assert "worker_id=1" in str(error)
+        assert "pid=4242" in str(error)
+
+    def test_unknown_context_key_is_rejected(self):
+        with pytest.raises(TypeError, match="unknown context"):
+            WorkerCrashedError("boom", banana=1)
+
+    def test_context_survives_pickling(self):
+        error = ProcessCommTimeout(
+            "rank 0 timed out",
+            rank=0,
+            peer=1,
+            op="sendrecv",
+            elapsed_seconds=2.5,
+            timeout_seconds=2.0,
+        )
+        clone = pickle.loads(pickle.dumps(error))
+        assert clone.context() == error.context()
+        assert str(clone) == str(error)
+
+
+class TestFaultPolicy:
+    def test_default_policy_is_inert(self):
+        policy = FaultPolicy()
+        assert not policy.active
+        assert resolve_fault_policy(None) == policy
+
+    def test_validation_rejects_bad_knobs(self):
+        with pytest.raises(ValueError):
+            FaultPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            FaultPolicy(backoff_jitter=1.5)
+        with pytest.raises(ValueError):
+            FaultPolicy(degrade_to=("gpu",))
+
+    def test_backoff_is_deterministic_and_capped(self):
+        policy = FaultPolicy(
+            max_retries=3,
+            backoff_base_seconds=0.5,
+            backoff_multiplier=4.0,
+            backoff_max_seconds=1.0,
+            seed=3,
+        )
+        first = [policy.backoff_seconds(n) for n in range(4)]
+        second = [policy.backoff_seconds(n) for n in range(4)]
+        assert first == second
+        assert all(b <= 1.0 for b in first)
+        assert first[0] >= 0.5
+
+    def test_env_spec_is_parsed(self, monkeypatch):
+        monkeypatch.setenv(
+            "REPRO_FAULT_POLICY",
+            "max_retries=3,degrade_to=thread+sequential,seed=7",
+        )
+        policy = resolve_fault_policy(None)
+        assert policy.max_retries == 3
+        assert policy.degrade_to == ("thread", "sequential")
+        assert policy.seed == 7
+
+    def test_env_spec_rejects_unknown_keys(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_POLICY", "retries=3")
+        with pytest.raises(ValueError, match="unknown fault-policy key"):
+            resolve_fault_policy(None)
+
+    def test_active_plan_enables_recovery_by_default(self):
+        with faults.installed_plan(FaultPlan(chaos_seed=1)):
+            policy = resolve_fault_policy(None)
+        assert policy.max_retries == 2
+        assert policy.degrade_to == DEGRADE_TIERS
+
+    def test_explicit_policy_wins_over_env_and_plan(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_POLICY", "max_retries=9")
+        with faults.installed_plan(FaultPlan(chaos_seed=1)):
+            policy = resolve_fault_policy(FaultPolicy(max_retries=1))
+        assert policy.max_retries == 1
+
+
+class TestPlanParsing:
+    def test_spec_round_trip(self):
+        plan = parse_plan(
+            "kill:worker=1,after=5,kinds=task+circuit;"
+            "corrupt:worker=0,after=2;"
+            "drop:rank=0,peer=1,after=4;"
+            "delay:rank=1,peer=0,seconds=0.2,after=1;"
+            "chaos:prob=0.05,seed=11"
+        )
+        assert KillWorker(worker=1, after=5, kinds=("task", "circuit")) in (
+            plan.injections
+        )
+        assert CorruptFrame(worker=0, after=2) in plan.injections
+        assert DropComm(rank=0, peer=1, after=4) in plan.injections
+        assert DelayComm(rank=1, peer=0, seconds=0.2, after=1) in plan.injections
+        assert plan.chaos_seed == 11
+        assert plan.chaos_kill_probability == 0.05
+
+    def test_unknown_directives_fail_loudly(self):
+        with pytest.raises(ValueError):
+            parse_plan("explode:worker=1")
+        with pytest.raises(ValueError):
+            parse_plan("kill:worker=1,after=0")
+
+    def test_env_plan_is_read_per_call(self, monkeypatch):
+        assert faults.get_active_plan() is None
+        monkeypatch.setenv(faults.PLAN_ENV_VAR, "kill:worker=0,after=3")
+        plan = faults.get_active_plan()
+        assert plan is not None
+        assert KillWorker(worker=0, after=3) in plan.injections
+
+
+class TestProcessTierRecovery:
+    def test_worker_kill_is_recovered_bit_identically(self, circuit, baseline):
+        plan = FaultPlan(
+            injections=(KillWorker(worker=0, after=5, kinds=("task",)),)
+        )
+        with faults.installed_plan(plan):
+            statevector, counts, recovery = run_to_outcome(
+                process_config(FaultPolicy(max_retries=2)), circuit
+            )
+        assert_bit_identical(statevector, counts, baseline)
+        assert recovery["retries"] == 1
+        assert recovery["restarts"] == 1
+        assert recovery["degraded_to"] is None
+        assert recovery["time_lost_seconds"] > 0.0
+
+    def test_corrupt_frame_is_retried_from_parent_copy(self, circuit, baseline):
+        plan = FaultPlan(injections=(CorruptFrame(worker=0, after=2),))
+        with faults.installed_plan(plan):
+            statevector, counts, recovery = run_to_outcome(
+                process_config(FaultPolicy(max_retries=2)), circuit
+            )
+        assert_bit_identical(statevector, counts, baseline)
+        assert recovery["retries"] == 1
+        assert recovery["restarts"] == 0
+
+    def test_degrade_ladder_falls_back_to_thread(self, circuit, baseline):
+        plan = FaultPlan(
+            injections=(KillWorker(worker=0, after=5, kinds=("task",)),)
+        )
+        policy = FaultPolicy(max_retries=0, degrade_to=("thread",))
+        with faults.installed_plan(plan):
+            with CompressedSimulator(
+                NUM_QUBITS, process_config(policy)
+            ) as simulator:
+                simulator.apply_circuit(circuit)
+                statevector = simulator.statevector()
+                counts = simulator.sample_counts(SHOTS, np.random.default_rng(7))
+                assert simulator.executor.degraded_tier == "thread"
+                recovery = simulator.report().recovery
+        assert_bit_identical(statevector, counts, baseline)
+        assert recovery["degraded_to"] == "thread"
+
+    def test_degrade_ladder_falls_back_to_sequential(self, circuit, baseline):
+        plan = FaultPlan(
+            injections=(KillWorker(worker=1, after=3, kinds=("task",)),)
+        )
+        policy = FaultPolicy(max_retries=0, degrade_to=("sequential",))
+        with faults.installed_plan(plan):
+            with CompressedSimulator(
+                NUM_QUBITS, process_config(policy)
+            ) as simulator:
+                simulator.apply_circuit(circuit)
+                statevector = simulator.statevector()
+                counts = simulator.sample_counts(SHOTS, np.random.default_rng(7))
+                assert simulator.executor.degraded_tier == "sequential"
+        assert_bit_identical(statevector, counts, baseline)
+
+    def test_exhausted_retries_fall_back_one_tier(self, circuit, baseline):
+        # Two kills landing in one wave: the first consumes the single
+        # allowed retry, the second exhausts it — the ladder must then take
+        # over instead of raising.
+        plan = FaultPlan(
+            injections=(
+                KillWorker(worker=-1, after=1, kinds=("task",)),
+                KillWorker(worker=-1, after=2, kinds=("task",)),
+            )
+        )
+        policy = FaultPolicy(
+            max_retries=1, degrade_to=("thread", "sequential")
+        )
+        with faults.installed_plan(plan):
+            with CompressedSimulator(
+                NUM_QUBITS, process_config(policy)
+            ) as simulator:
+                simulator.apply_circuit(circuit)
+                statevector = simulator.statevector()
+                counts = simulator.sample_counts(SHOTS, np.random.default_rng(7))
+                assert simulator.executor.degraded_tier == "thread"
+                recovery = simulator.report().recovery
+        assert_bit_identical(statevector, counts, baseline)
+        assert recovery["retries"] == 1
+        assert recovery["degraded_to"] == "thread"
+
+    def test_fail_fast_policy_raises_with_context(self, circuit):
+        plan = FaultPlan(
+            injections=(KillWorker(worker=0, after=5, kinds=("task",)),)
+        )
+        with faults.installed_plan(plan):
+            with CompressedSimulator(
+                NUM_QUBITS, process_config(FaultPolicy(max_retries=0))
+            ) as simulator:
+                with pytest.raises(WorkerCrashedError) as excinfo:
+                    simulator.apply_circuit(circuit)
+        assert excinfo.value.worker_id == 0
+        assert excinfo.value.pid is not None
+
+
+class TestRankedRecovery:
+    def test_rank_kill_resumes_from_checkpoint_bit_identically(
+        self, circuit, baseline
+    ):
+        plan = FaultPlan(
+            injections=(KillWorker(worker=1, after=6, kinds=("gate",)),)
+        )
+        policy = FaultPolicy(max_retries=2, checkpoint_interval_waves=4)
+        with faults.installed_plan(plan):
+            statevector, counts, recovery = run_to_outcome(
+                ranked_config(policy), circuit
+            )
+        assert_bit_identical(statevector, counts, baseline)
+        assert recovery["retries"] == 1
+        assert recovery["restarts"] == 2  # the whole 2-rank pool is rebuilt
+        assert recovery["checkpoints_written"] > 0
+
+    def test_comm_drop_is_recovered_once(self, circuit, baseline, monkeypatch):
+        # Environment-delivered plan: rank workers arm it in their own
+        # processes; the rebuilt (generation > 0) pool must run clean.
+        monkeypatch.setenv(faults.PLAN_ENV_VAR, "drop:rank=0,peer=1,after=4")
+        policy = FaultPolicy(max_retries=2, checkpoint_interval_waves=2)
+        statevector, counts, recovery = run_to_outcome(
+            ranked_config(policy), circuit
+        )
+        assert_bit_identical(statevector, counts, baseline)
+        assert recovery["retries"] == 1
+        assert recovery["restarts"] == 2
+
+    def test_comm_delay_is_absorbed_without_retry(
+        self, circuit, baseline, monkeypatch
+    ):
+        monkeypatch.setenv(
+            faults.PLAN_ENV_VAR, "delay:rank=1,peer=0,seconds=0.2,after=2"
+        )
+        policy = FaultPolicy(max_retries=1, checkpoint_interval_waves=2)
+        statevector, counts, recovery = run_to_outcome(
+            ranked_config(policy), circuit
+        )
+        assert_bit_identical(statevector, counts, baseline)
+        assert recovery is None or recovery["retries"] == 0
+
+    def test_comm_drop_fail_fast_carries_timeout_context(
+        self, circuit, monkeypatch
+    ):
+        monkeypatch.setenv(faults.PLAN_ENV_VAR, "drop:rank=0,peer=1,after=4")
+        with CompressedSimulator(
+            NUM_QUBITS, ranked_config(FaultPolicy(max_retries=0))
+        ) as simulator:
+            with pytest.raises(ProcessCommTimeout) as excinfo:
+                simulator.apply_circuit(circuit)
+        assert excinfo.value.rank == 0
+        assert excinfo.value.peer == 1
+        assert excinfo.value.op == "sendrecv"
+
+    def test_observables_identical_under_rank_kill(self, circuit):
+        observable = PauliObservable("XZ" + "I" * (NUM_QUBITS - 2))
+        reference = repro.run(
+            circuit,
+            backend="compressed",
+            observables=observable,
+            config=SimulatorConfig(num_ranks=2, block_amplitudes=BLOCK),
+        )
+        plan = FaultPlan(
+            injections=(KillWorker(worker=1, after=6, kinds=("gate",)),)
+        )
+        with faults.installed_plan(plan):
+            recovered = repro.run(
+                circuit,
+                backend="compressed",
+                observables=observable,
+                config=ranked_config(
+                    FaultPolicy(max_retries=2, checkpoint_interval_waves=4)
+                ),
+            )
+        assert recovered.expectations == reference.expectations
+
+    def test_midrun_checkpoint_resumes_bit_identically(self, tmp_path):
+        # The in-run resilience checkpoint is a plain QCKPT001 file: loading
+        # it and replaying the remaining gates must land on the same state
+        # as the uninterrupted run.  Fusion is disabled so the checkpoint's
+        # gate_count indexes the circuit's gate list directly.
+        circuit = qft_benchmark_circuit(NUM_QUBITS)
+        interval = 4
+        policy = FaultPolicy(
+            checkpoint_interval_waves=interval, checkpoint_dir=str(tmp_path)
+        )
+        config = ranked_config(policy, fusion_enabled=False)
+        with CompressedSimulator(NUM_QUBITS, config) as simulator:
+            simulator.apply_circuit(circuit)
+            expected = simulator.statevector()
+        ckpt = tmp_path / "resilience.ckpt"
+        assert ckpt.exists()
+        meta, blocks = read_checkpoint(ckpt)
+        assert meta["gate_count"] > 0
+        assert meta["gate_count"] % interval == 0
+        assert blocks
+        resumed = load_checkpoint(
+            ckpt,
+            config=SimulatorConfig(
+                num_ranks=2, block_amplitudes=BLOCK, fusion_enabled=False
+            ),
+        )
+        with resumed:
+            for gate in circuit.gates[meta["gate_count"] :]:
+                resumed.apply_gate(gate)
+            assert np.array_equal(
+                resumed.statevector().view(np.uint64),
+                expected.view(np.uint64),
+            )
+
+
+class TestBatchFanOut:
+    def test_parallel_batch_survives_circuit_worker_kill(self):
+        circuits = [
+            qft_benchmark_circuit(NUM_QUBITS, seed=s) for s in range(4)
+        ]
+        reference = repro.run(circuits, shots=SHOTS, seed=11)
+        plan = FaultPlan(
+            injections=(KillWorker(worker=0, after=2, kinds=("circuit",)),)
+        )
+        with faults.installed_plan(plan):
+            # No explicit policy: the active plan auto-enables recovery.
+            recovered = repro.run(
+                circuits,
+                shots=SHOTS,
+                seed=11,
+                parallel="process",
+                max_parallel=2,
+            )
+        assert [r.counts for r in recovered] == [r.counts for r in reference]
+
+
+class TestBoundedTeardown:
+    def test_close_reaps_a_killed_worker_promptly(self, circuit):
+        config = process_config(FaultPolicy(max_retries=0))
+        simulator = CompressedSimulator(NUM_QUBITS, config)
+        simulator.apply_circuit(circuit)
+        pool = simulator.executor.pool
+        pids = [pool.worker_pid(i) for i in range(2)]
+        os.kill(pids[0], signal.SIGKILL)
+        start = time.monotonic()
+        simulator.close()
+        assert time.monotonic() - start < 10.0
+        for pid in pids:
+            # Every worker is reaped — no zombies, no orphans.
+            with pytest.raises(ProcessLookupError):
+                os.kill(pid, 0)
+
+    def test_heal_respawns_only_the_dead_worker(self, circuit):
+        config = process_config(FaultPolicy(max_retries=0))
+        with CompressedSimulator(NUM_QUBITS, config) as simulator:
+            simulator.apply_circuit(circuit)
+            pool = simulator.executor.pool
+            survivor_pid = pool.worker_pid(1)
+            os.kill(pool.worker_pid(0), signal.SIGKILL)
+            with pytest.raises(WorkerCrashedError):
+                simulator.apply_circuit(circuit)
+            restarted = pool.heal()
+            assert restarted == [0]
+            assert pool.worker_pid(1) == survivor_pid
+            assert pool.worker_pid(0) != survivor_pid
+
+
+class TestBlobChecksums:
+    def test_corrupt_payload_raises_typed_error(self):
+        arena = SlotArena(slots=2, slot_bytes=4096)
+        try:
+            refs = arena.write(0, [b"payload-bytes" * 7])
+            assert refs is not None
+            assert arena.read(refs[0]) == b"payload-bytes" * 7
+            refs = arena.write(1, [b"second-payload" * 5])
+            arena.corrupt(refs[0])
+            with pytest.raises(BlockCorruptionError) as excinfo:
+                arena.read(refs[0])
+            assert excinfo.value.expected_crc != excinfo.value.actual_crc
+            assert excinfo.value.slot is not None
+        finally:
+            arena.close()
