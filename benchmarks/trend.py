@@ -15,11 +15,18 @@ same engine set — comparing a laptop full run against a throttled CI quick
 run would only produce noise.  When no matched baseline exists the run is
 recorded and passes.
 
+The same file also carries per-commit *lint* records: ``--lint PATH``
+distills a ``repro.tools.lint --json`` report into a one-line record
+(``"kind": "lint"`` — per-rule diagnostic counts, suppression count, files
+checked) and appends it.  Lint records are history only: the CI lint step
+itself is the pass/fail gate, and codec baseline matching skips them.
+
 Usage::
 
     python benchmarks/trend.py                  # append + check
     python benchmarks/trend.py --check-only     # compare without appending
     python benchmarks/trend.py --threshold 0.5  # looser gate
+    python benchmarks/trend.py --lint lint-report.json  # record lint counts
 """
 
 from __future__ import annotations
@@ -67,6 +74,7 @@ def summarise(bench: dict, commit: str, timestamp: str) -> dict:
     meta = bench.get("meta", {})
     record = {
         "schema": 1,
+        "kind": "codec",
         "commit": commit,
         "timestamp": timestamp,
         "quick": bool(meta.get("quick", False)),
@@ -94,9 +102,38 @@ def summarise(bench: dict, commit: str, timestamp: str) -> dict:
     return record
 
 
-def environment_matches(current: dict, candidate: dict) -> bool:
-    """Whether *candidate* ran under comparable conditions to *current*."""
+def lint_record(report: dict, commit: str, timestamp: str) -> dict:
+    """One flat trend record from a ``repro.tools.lint --json`` report.
 
+    Tracks the shape of the lint surface over time — how many diagnostics
+    each rule would raise without suppressions, how many sanctioned
+    suppressions the tree carries, and how many files the walk covered.
+    """
+
+    per_rule = {rule: 0 for rule in report.get("rules_active", [])}
+    for diagnostic in report.get("diagnostics", []):
+        per_rule[diagnostic["rule"]] = per_rule.get(diagnostic["rule"], 0) + 1
+    return {
+        "schema": 1,
+        "kind": "lint",
+        "commit": commit,
+        "timestamp": timestamp,
+        "files_checked": report.get("files_checked", 0),
+        "diagnostics": len(report.get("diagnostics", [])),
+        "suppressed": len(report.get("suppressed", [])),
+        "per_rule": per_rule,
+    }
+
+
+def environment_matches(current: dict, candidate: dict) -> bool:
+    """Whether *candidate* ran under comparable conditions to *current*.
+
+    Only codec records qualify as codec baselines; lint records (and any
+    future kinds) share TREND.jsonl but never match.
+    """
+
+    if candidate.get("kind", "codec") != "codec":
+        return False
     return all(current.get(key) == candidate.get(key) for key in ENVIRONMENT_KEYS)
 
 
@@ -163,7 +200,36 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="compare against the baseline without appending a record",
     )
+    parser.add_argument(
+        "--lint",
+        type=Path,
+        default=None,
+        metavar="REPORT",
+        help="append a lint record distilled from a repro.tools.lint --json "
+        "report instead of processing benchmark results",
+    )
     args = parser.parse_args(argv)
+
+    if args.lint is not None:
+        # Recorder, not a gate: the CI lint step fails the build on
+        # diagnostics; this just writes the data point into the history.
+        if not args.lint.exists():
+            print(f"trend: no lint report at {args.lint}; run "
+                  "python -m repro.tools.lint --json first", file=sys.stderr)
+            return 2
+        record = lint_record(
+            json.loads(args.lint.read_text()),
+            commit=current_commit(),
+            timestamp=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        )
+        if not args.check_only:
+            append_record(args.trend, record)
+        print(
+            f"trend: lint @ {record['commit']}: {record['diagnostics']} "
+            f"diagnostic(s), {record['suppressed']} suppressed, "
+            f"{record['files_checked']} file(s)"
+        )
+        return 0
 
     if not args.results.exists():
         print(f"trend: no benchmark results at {args.results}; run "

@@ -59,6 +59,7 @@ ENFORCED_PACKAGES = (
     "repro.distributed",
     "repro.errors",
     "repro.resilience",
+    "repro.tools.lint",
 )
 
 #: One API page per entry: (slug, page title, module names).
@@ -112,6 +113,11 @@ API_SECTIONS = [
     ("analysis", "repro.analysis", [
         "repro.analysis", "repro.analysis.datasets", "repro.analysis.memory",
         "repro.analysis.report", "repro.analysis.spikiness",
+    ]),
+    ("tools", "repro.tools.lint", [
+        "repro.tools", "repro.tools.lint", "repro.tools.lint.engine",
+        "repro.tools.lint.config", "repro.tools.lint.cli",
+        "repro.tools.lint.rules",
     ]),
 ]
 

@@ -49,6 +49,7 @@ from .core import (
 from .errors import (
     BlockCorruptionError,
     CheckpointError,
+    PoolProtocolError,
     ProcessCommTimeout,
     ReproError,
     WorkerCrashedError,
@@ -85,6 +86,7 @@ __all__ = [
     "ProcessCommTimeout",
     "BlockCorruptionError",
     "CheckpointError",
+    "PoolProtocolError",
     "FaultPolicy",
     "resolve_fault_policy",
     "DenseSimulator",

@@ -73,6 +73,8 @@ class Supercomputer:
 
     @property
     def memory_bytes(self) -> float:
+        """Machine memory in bytes (petabytes scaled by 2**50)."""
+
         return self.memory_petabytes * _PB
 
     @property

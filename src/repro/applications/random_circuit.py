@@ -35,9 +35,13 @@ class GridSpec:
 
     @property
     def num_qubits(self) -> int:
+        """Total qubit count of the grid (rows times cols)."""
+
         return self.rows * self.cols
 
     def index(self, row: int, col: int) -> int:
+        """Flat qubit index of grid site (*row*, *col*), row-major."""
+
         return row * self.cols + col
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

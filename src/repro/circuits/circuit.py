@@ -32,6 +32,8 @@ class CircuitStats:
     gate_histogram: dict[str, int]
 
     def as_dict(self) -> dict:
+        """JSON-ready mapping of every statistic (histogram copied)."""
+
         return {
             "num_qubits": self.num_qubits,
             "num_gates": self.num_gates,
@@ -123,68 +125,110 @@ class QuantumCircuit:
     # -- named builders (single-qubit) -----------------------------------------
 
     def i(self, qubit: int) -> "QuantumCircuit":
+        """Append an identity gate on *qubit* (a no-op placeholder)."""
+
         return self.add("i", qubit)
 
     def x(self, qubit: int) -> "QuantumCircuit":
+        """Append a Pauli-X (NOT) gate on *qubit*."""
+
         return self.add("x", qubit)
 
     def y(self, qubit: int) -> "QuantumCircuit":
+        """Append a Pauli-Y gate on *qubit*."""
+
         return self.add("y", qubit)
 
     def z(self, qubit: int) -> "QuantumCircuit":
+        """Append a Pauli-Z gate on *qubit*."""
+
         return self.add("z", qubit)
 
     def h(self, qubit: int) -> "QuantumCircuit":
+        """Append a Hadamard gate on *qubit*."""
+
         return self.add("h", qubit)
 
     def s(self, qubit: int) -> "QuantumCircuit":
+        """Append an S (sqrt-Z) phase gate on *qubit*."""
+
         return self.add("s", qubit)
 
     def sdg(self, qubit: int) -> "QuantumCircuit":
+        """Append an S-dagger gate on *qubit*."""
+
         return self.add("sdg", qubit)
 
     def t(self, qubit: int) -> "QuantumCircuit":
+        """Append a T (pi/8) phase gate on *qubit*."""
+
         return self.add("t", qubit)
 
     def tdg(self, qubit: int) -> "QuantumCircuit":
+        """Append a T-dagger gate on *qubit*."""
+
         return self.add("tdg", qubit)
 
     def sx(self, qubit: int) -> "QuantumCircuit":
+        """Append a sqrt-X gate on *qubit*."""
+
         return self.add("sx", qubit)
 
     def rx(self, theta: float, qubit: int) -> "QuantumCircuit":
+        """Append an X-axis rotation by *theta* radians on *qubit*."""
+
         return self.add("rx", qubit, params=(theta,))
 
     def ry(self, theta: float, qubit: int) -> "QuantumCircuit":
+        """Append a Y-axis rotation by *theta* radians on *qubit*."""
+
         return self.add("ry", qubit, params=(theta,))
 
     def rz(self, theta: float, qubit: int) -> "QuantumCircuit":
+        """Append a Z-axis rotation by *theta* radians on *qubit*."""
+
         return self.add("rz", qubit, params=(theta,))
 
     def p(self, lam: float, qubit: int) -> "QuantumCircuit":
+        """Append a phase gate with angle *lam* on *qubit*."""
+
         return self.add("p", qubit, params=(lam,))
 
     def u3(self, theta: float, phi: float, lam: float, qubit: int) -> "QuantumCircuit":
+        """Append the generic single-qubit unitary U3(theta, phi, lam)."""
+
         return self.add("u3", qubit, params=(theta, phi, lam))
 
     # -- named builders (controlled) -------------------------------------------
 
     def cx(self, control: int, target: int) -> "QuantumCircuit":
+        """Append a CNOT: X on *target* controlled by *control*."""
+
         return self.add("x", target, controls=(control,))
 
     def cz(self, control: int, target: int) -> "QuantumCircuit":
+        """Append a controlled-Z between *control* and *target*."""
+
         return self.add("z", target, controls=(control,))
 
     def cy(self, control: int, target: int) -> "QuantumCircuit":
+        """Append a controlled-Y on *target*."""
+
         return self.add("y", target, controls=(control,))
 
     def ch(self, control: int, target: int) -> "QuantumCircuit":
+        """Append a controlled-Hadamard on *target*."""
+
         return self.add("h", target, controls=(control,))
 
     def cp(self, lam: float, control: int, target: int) -> "QuantumCircuit":
+        """Append a controlled phase gate with angle *lam*."""
+
         return self.add("p", target, controls=(control,), params=(lam,))
 
     def crz(self, theta: float, control: int, target: int) -> "QuantumCircuit":
+        """Append a controlled Z-rotation by *theta* radians."""
+
         return self.add("rz", target, controls=(control,), params=(theta,))
 
     def ccx(self, control1: int, control2: int, target: int) -> "QuantumCircuit":
@@ -193,6 +237,8 @@ class QuantumCircuit:
         return self.add("x", target, controls=(control1, control2))
 
     def ccz(self, control1: int, control2: int, target: int) -> "QuantumCircuit":
+        """Append a doubly-controlled Z (the QAOA/Grover phase primitive)."""
+
         return self.add("z", target, controls=(control1, control2))
 
     def mcx(self, controls: Sequence[int], target: int) -> "QuantumCircuit":
@@ -238,6 +284,8 @@ class QuantumCircuit:
         return new
 
     def copy(self) -> "QuantumCircuit":
+        """Return a shallow copy (shares Gate objects; they are immutable)."""
+
         new = QuantumCircuit(self._num_qubits, name=self.name)
         new._gates = list(self._gates)
         return new

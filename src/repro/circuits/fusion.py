@@ -52,6 +52,8 @@ class FusionStats:
 
     @property
     def gates_eliminated(self) -> int:
+        """How many gate applications fusion removed from the schedule."""
+
         return self.gates_in - self.gates_out
 
     @property
@@ -63,6 +65,8 @@ class FusionStats:
         return self.gates_in / self.gates_out
 
     def as_dict(self) -> dict:
+        """JSON-ready mapping of the fusion statistics."""
+
         return {
             "gates_in": self.gates_in,
             "gates_out": self.gates_out,

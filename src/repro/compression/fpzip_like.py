@@ -118,9 +118,13 @@ class FPZIPLikeCompressor(Compressor):
 
     @property
     def precision(self) -> int:
+        """Mantissa bits kept per double (the configured precision)."""
+
         return self._precision
 
     def compress(self, data: np.ndarray) -> bytes:
+        """Truncate mantissas, XOR-delta the words, entropy-pack the planes."""
+
         array = self._as_float64(data)
         truncated = bitplane.truncate_bitplanes(array, self._precision)
         words = truncated.view(np.uint64)
@@ -136,6 +140,8 @@ class FPZIPLikeCompressor(Compressor):
         return pack_header(_TAG, array.size, extra) + payload
 
     def decompress(self, blob: bytes) -> np.ndarray:
+        """Invert :meth:`compress`; exact for the kept bit-planes."""
+
         tag, count, extra, offset = unpack_header(blob)
         if tag != _TAG:
             raise CompressorError(f"blob tag {tag} is not an FPZIP-like blob")

@@ -121,6 +121,8 @@ class Compressor(abc.ABC):
 
     @property
     def is_lossless(self) -> bool:
+        """Whether this codec reconstructs bit-exactly (LOSSLESS mode)."""
+
         return self._mode is ErrorBoundMode.LOSSLESS
 
     # -- the two operations -------------------------------------------------------
@@ -197,6 +199,8 @@ class CompressionRecord:
         return self.original_bytes / 1e6 / self.decompress_seconds
 
     def as_dict(self) -> dict:
+        """JSON-ready mapping of one compress/decompress measurement."""
+
         return {
             "compressor": self.compressor,
             "mode": self.mode,

@@ -98,6 +98,8 @@ class LosslessCompressor(Compressor):
 
     @property
     def backend(self) -> str:
+        """Name of the byte-level backend in use (zlib/bz2/lzma)."""
+
         return self._backend
 
     def __getstate__(self) -> dict:
@@ -114,12 +116,16 @@ class LosslessCompressor(Compressor):
         self.__init__(**state)
 
     def compress(self, data: np.ndarray) -> bytes:
+        """Byte-exact compression of the raw float64 buffer."""
+
         array = self._as_float64(data)
         payload = lossless_compress_bytes(array.tobytes(), self._backend, self._level)
         extra = bytes([_BACKEND_IDS[self._backend]])
         return pack_header(_TAG, array.size, extra) + payload
 
     def decompress(self, blob: bytes) -> np.ndarray:
+        """Bit-exact reconstruction of the original float64 array."""
+
         tag, count, extra, offset = unpack_header(blob)
         if tag != _TAG:
             raise CompressorError(f"blob tag {tag} is not a lossless blob")

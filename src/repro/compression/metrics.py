@@ -159,6 +159,8 @@ class CompressorEvaluation:
     lag1_error_autocorrelation: float
 
     def as_dict(self) -> dict:
+        """The wrapped record's dict plus the error-autocorrelation field."""
+
         data = self.record.as_dict()
         data["lag1_error_autocorrelation"] = self.lag1_error_autocorrelation
         return data

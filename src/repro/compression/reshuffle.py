@@ -87,12 +87,16 @@ class ReshuffleCompressor(Compressor):
         self.__init__(**state)
 
     def compress(self, data: np.ndarray) -> bytes:
+        """De-interleave (real, imag) pairs, then run the inner SZ codec."""
+
         array = self._as_float64(data)
         shuffled = _deinterleave(array)
         payload = self._inner.compress(shuffled)
         return pack_header(_TAG, array.size, b"") + payload
 
     def decompress(self, blob: bytes) -> np.ndarray:
+        """Invert the inner codec, then re-interleave the two streams."""
+
         tag, count, _extra, offset = unpack_header(blob)
         if tag != _TAG:
             raise CompressorError(f"blob tag {tag} is not a Solution D blob")

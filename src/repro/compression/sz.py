@@ -182,6 +182,8 @@ class SZCompressor(Compressor):
 
     @property
     def max_bins(self) -> int:
+        """Quantization-bin budget for the linear-scaling stage."""
+
         return self._max_bins
 
     def __getstate__(self) -> dict:
@@ -260,6 +262,8 @@ class SZCompressor(Compressor):
     # -- public API -------------------------------------------------------------------
 
     def compress(self, data: np.ndarray) -> bytes:
+        """Predict, quantize within the bound, Huffman-pack (paper Sec. 4)."""
+
         array = self._as_float64(data)
         if array.size == 0:
             # Empty blocks share the regular absolute-stream payload layout
@@ -280,6 +284,8 @@ class SZCompressor(Compressor):
         return self._compress_rel(array)
 
     def decompress(self, blob: bytes) -> np.ndarray:
+        """Reconstruct within the error bound from either payload layout."""
+
         tag, count, extra, offset = unpack_header(blob)
         if count == 0:
             return np.zeros(0, dtype=np.float64)

@@ -67,6 +67,8 @@ class SZComplexCompressor(Compressor):
 
     @property
     def max_bins(self) -> int:
+        """Quantization-bin budget of the inner SZ codec."""
+
         return self._inner.max_bins
 
     def __getstate__(self) -> dict:
@@ -85,6 +87,8 @@ class SZComplexCompressor(Compressor):
         self.__init__(**state)
 
     def compress(self, data: np.ndarray) -> bytes:
+        """Split interleaved (real, imag) into two SZ streams (Solution B)."""
+
         array = self._as_float64(data)
         # Treat the stream as interleaved (real, imaginary) pairs; a trailing
         # unpaired value (odd length) joins the real stream.
@@ -96,6 +100,8 @@ class SZComplexCompressor(Compressor):
         return pack_header(_TAG, array.size, extra) + real_blob + imag_blob
 
     def decompress(self, blob: bytes) -> np.ndarray:
+        """Decode both SZ streams and re-interleave into one array."""
+
         tag, count, extra, offset = unpack_header(blob)
         if tag != _TAG:
             raise CompressorError(f"blob tag {tag} is not a Solution B blob")

@@ -100,6 +100,8 @@ class XorBitplaneCompressor(Compressor):
     # -- compression ---------------------------------------------------------------
 
     def compress(self, data: np.ndarray) -> bytes:
+        """XOR-condition exponents, keep leading bit-planes (Solution C)."""
+
         array = self._as_float64(data)
         keep_bits = self._keep_bytes * 8
 
@@ -143,6 +145,8 @@ class XorBitplaneCompressor(Compressor):
     # -- decompression ----------------------------------------------------------------
 
     def decompress(self, blob: bytes) -> np.ndarray:
+        """Rebuild doubles from kept planes; exceptions restore exact values."""
+
         tag, count, extra, offset = unpack_header(blob)
         if tag != _TAG:
             raise CompressorError(f"blob tag {tag} is not a Solution C blob")

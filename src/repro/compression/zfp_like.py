@@ -173,6 +173,8 @@ class ZFPLikeCompressor(Compressor):
     # -- public API ---------------------------------------------------------------------
 
     def compress(self, data: np.ndarray) -> bytes:
+        """Block-transform + embedded encoding under the configured bound."""
+
         array = self._as_float64(data)
         if self.mode is ErrorBoundMode.ABSOLUTE:
             return pack_header(_TAG_ABS, array.size, b"") + self._encode_abs(
@@ -192,6 +194,8 @@ class ZFPLikeCompressor(Compressor):
         return pack_header(_TAG_REL, array.size, extra) + body + side
 
     def decompress(self, blob: bytes) -> np.ndarray:
+        """Reconstruct within the error bound from either payload layout."""
+
         tag, count, extra, offset = unpack_header(blob)
         if count == 0:
             return np.zeros(0, dtype=np.float64)

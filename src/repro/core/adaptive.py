@@ -54,6 +54,8 @@ class AdaptiveErrorController:
 
     @property
     def is_lossless(self) -> bool:
+        """Whether the controller still sits at the lossless level."""
+
         return self._level_index < 0
 
     @property
@@ -72,6 +74,8 @@ class AdaptiveErrorController:
 
     @property
     def events(self) -> tuple[EscalationEvent, ...]:
+        """Every escalation taken so far, in order."""
+
         return tuple(self._events)
 
     def compressor(self) -> Compressor:

@@ -34,6 +34,8 @@ class CompressedBlock:
 
     @property
     def nbytes(self) -> int:
+        """Size of the compressed payload in bytes."""
+
         return len(self.blob)
 
 
@@ -48,15 +50,21 @@ class BlockStore:
 
     @property
     def partition(self) -> Partition:
+        """The rank/block partition this store is laid out for."""
+
         return self._partition
 
     def get(self, rank: int, block: int) -> CompressedBlock:
+        """The compressed block at (*rank*, *block*); KeyError if unset."""
+
         entry = self._blocks[rank][block]
         if entry is None:
             raise KeyError(f"block ({rank}, {block}) has not been initialised")
         return entry
 
     def put(self, rank: int, block: int, compressed: CompressedBlock) -> None:
+        """Replace the compressed block at (*rank*, *block*)."""
+
         self._blocks[rank][block] = compressed
 
     def __iter__(self):
@@ -77,6 +85,8 @@ class BlockStore:
         )
 
     def rank_compressed_bytes(self, rank: int) -> int:
+        """Compressed footprint of one rank's initialised blocks."""
+
         return sum(entry.nbytes for entry in self._blocks[rank] if entry is not None)
 
     def total_bytes_with_scratch(self) -> int:
@@ -127,10 +137,14 @@ class ScratchPool:
 
     @property
     def block_amplitudes(self) -> int:
+        """Amplitudes per block (the size every scratch buffer is cut to)."""
+
         return self._block_amplitudes
 
     @property
     def num_buffers(self) -> int:
+        """How many scratch buffers the pool owns."""
+
         return len(self._buffers)
 
     def buffer(self, index: int) -> np.ndarray:

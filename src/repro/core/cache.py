@@ -33,15 +33,21 @@ class CacheStats:
 
     @property
     def lookups(self) -> int:
+        """Total lookups (hits plus misses)."""
+
         return self.hits + self.misses
 
     @property
     def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when none yet)."""
+
         if self.lookups == 0:
             return 0.0
         return self.hits / self.lookups
 
     def as_dict(self) -> dict:
+        """JSON-ready mapping of the counter values and hit rate."""
+
         return {
             "hits": self.hits,
             "misses": self.misses,
@@ -86,10 +92,14 @@ class BlockCache:
 
     @property
     def lines(self) -> int:
+        """Capacity of the cache in entries."""
+
         return self._lines
 
     @property
     def enabled(self) -> bool:
+        """Whether caching is active (False once self-disabled)."""
+
         return not self.stats.disabled
 
     def _key(self, op_key: tuple, blob1: bytes, blob2: bytes | None) -> bytes:

@@ -140,24 +140,34 @@ class CompressedStateVector:
 
     @property
     def partition(self) -> Partition:
+        """The rank/block partition of the simulated machine."""
+
         return self._partition
 
     @property
     def store(self) -> BlockStore:
+        """The underlying compressed-block store."""
+
         return self._store
 
     @property
     def num_qubits(self) -> int:
+        """Number of qubits the state vector represents."""
+
         return self._partition.num_qubits
 
     # -- block-level access -------------------------------------------------------------
 
     def get_block(self, rank: int, block: int) -> CompressedBlock:
+        """The compressed block at (*rank*, *block*)."""
+
         return self._store.get(rank, block)
 
     def put_block(
         self, rank: int, block: int, blob: bytes, compressor: Compressor
     ) -> None:
+        """Store *blob* at (*rank*, *block*), tagged with its codec name."""
+
         self._store.put(
             rank,
             block,
@@ -174,11 +184,15 @@ class CompressedStateVector:
         return values.view(np.complex128)
 
     def iter_blocks(self) -> Iterator[tuple[tuple[int, int], CompressedBlock]]:
+        """Iterate ``((rank, block), CompressedBlock)`` over every block."""
+
         return iter(self._store)
 
     # -- memory accounting ----------------------------------------------------------------
 
     def compressed_bytes(self) -> int:
+        """Total compressed footprint across every rank."""
+
         return self._store.compressed_bytes()
 
     def footprint_bytes(self) -> int:
@@ -187,9 +201,13 @@ class CompressedStateVector:
         return self._store.total_bytes_with_scratch()
 
     def compression_ratio(self) -> float:
+        """Uncompressed size over compressed size (higher is better)."""
+
         return self._store.compression_ratio()
 
     def uncompressed_bytes(self) -> int:
+        """What the dense state vector would occupy (16 bytes/amplitude)."""
+
         return self._partition.uncompressed_bytes()
 
     # -- state-level queries -----------------------------------------------------------------

@@ -116,6 +116,8 @@ class TaskExecutor:
 
     @property
     def num_workers(self) -> int:
+        """How many workers execute block tasks (1 for the thread tier)."""
+
         return self._num_workers
 
     def reset_workers(self) -> None:
@@ -479,6 +481,8 @@ class ProcessTaskExecutor(TaskExecutor):
         op_key: tuple,
         local_control_mask: np.ndarray | None,
     ) -> None:
+        """Execute one gate plan across the pool (degraded path when on)."""
+
         if self._degraded is not None:
             self._run_plan_degraded(
                 gate, plan, compressor, op_key, local_control_mask

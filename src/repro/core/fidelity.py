@@ -72,14 +72,20 @@ class FidelityTracker:
 
     @property
     def num_gates(self) -> int:
+        """How many gates have been recorded."""
+
         return len(self._gate_bounds)
 
     @property
     def num_lossy_gates(self) -> int:
+        """How many recorded gates ran with a non-zero error bound."""
+
         return sum(1 for bound in self._gate_bounds if bound > 0)
 
     @property
     def gate_bounds(self) -> tuple[float, ...]:
+        """Per-gate error bounds in execution order."""
+
         return tuple(self._gate_bounds)
 
     def history(self) -> np.ndarray:
@@ -91,5 +97,7 @@ class FidelityTracker:
         return np.cumprod(factors)
 
     def reset(self) -> None:
+        """Forget all recorded gates (used when recovery rewinds a run)."""
+
         self._log_bound = 0.0
         self._gate_bounds.clear()

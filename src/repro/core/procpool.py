@@ -40,7 +40,12 @@ from multiprocessing import get_context, shared_memory
 import numpy as np
 
 from ..compression.interface import Compressor
-from ..errors import BlockCorruptionError, WorkerCrashedError
+from ..errors import (
+    BlockCorruptionError,
+    PoolProtocolError,
+    ReproError,
+    WorkerCrashedError,
+)
 from ..statevector import ops
 from .blocks import ScratchPool
 from .cache import BlockCache
@@ -91,11 +96,11 @@ def raise_worker_error(reply: tuple, context: str) -> None:
     _, exc, worker_traceback = reply
     detail = f"{context}:\n{worker_traceback}"
     if exc is None:
-        raise RuntimeError(detail)
+        raise ReproError(detail)
     if hasattr(exc, "add_note"):  # Python >= 3.11
         exc.add_note(detail)
         raise exc
-    raise exc from RuntimeError(detail)  # pragma: no cover - py3.10 path
+    raise exc from ReproError(detail)  # pragma: no cover - py3.10 path
 
 
 # ---------------------------------------------------------------------------
@@ -286,6 +291,8 @@ def _pool_worker_main(
                 break
             try:
                 reply = state.handle(message)
+            # repro-lint: disable=error-taxonomy -- worker boundary: the
+            # exception is shipped to the parent and re-raised there
             except Exception as exc:
                 # Ship the exception object itself (when picklable) so the
                 # parent can re-raise the *original* type — parallel and
@@ -293,6 +300,8 @@ def _pool_worker_main(
                 # the formatted worker traceback for context.
                 try:
                     pickle.dumps(exc)
+                # repro-lint: disable=error-taxonomy -- pickling probe: any
+                # failure just downgrades the reply to traceback-only
                 except Exception:
                     exc = None
                 reply = ("err", exc, traceback.format_exc())
@@ -304,7 +313,9 @@ def _pool_worker_main(
         if state is not None and hasattr(state, "close"):
             try:
                 state.close()
-            except Exception:  # pragma: no cover - best-effort teardown
+            # repro-lint: disable=error-taxonomy -- best-effort teardown on
+            # the way out of a dying worker; nothing to report to
+            except Exception:  # pragma: no cover
                 pass
         for arena in (in_arena, out_arena):
             if arena is not None:
@@ -476,9 +487,11 @@ class ProcessPool:
 
         worker = self._workers[worker_id]
         if worker.outstanding >= SLOTS_PER_WORKER:
-            raise RuntimeError(
+            raise PoolProtocolError(
                 f"worker {worker_id} already has {worker.outstanding} outstanding "
-                f"tasks (cap {SLOTS_PER_WORKER}); collect a response first"
+                f"tasks (cap {SLOTS_PER_WORKER}); collect a response first",
+                worker_id=worker_id,
+                op="submit",
             )
         if self._faults is not None:
             victim = self._faults.on_submit(worker_id, message[0])
@@ -555,7 +568,9 @@ class ProcessPool:
                 if worker.outstanding
             }
             if not waiting:
-                raise RuntimeError("recv_any() called with no outstanding tasks")
+                raise PoolProtocolError(
+                    "recv_any() called with no outstanding tasks", op="recv_any"
+                )
             ready = mp_connection.wait(list(waiting), timeout=0.2)
             for conn in ready:
                 worker_id = waiting[conn]

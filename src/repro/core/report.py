@@ -104,6 +104,8 @@ class SimulationReport:
     # -- accumulation -----------------------------------------------------------------
 
     def add_time(self, bucket: str, seconds: float) -> None:
+        """Add *seconds* to the named time bucket (thread-safe)."""
+
         attr = f"{bucket}_seconds"
         if not hasattr(self, attr):
             raise KeyError(f"unknown time bucket {bucket!r}")
@@ -119,13 +121,19 @@ class SimulationReport:
             setattr(self, counter, getattr(self, counter) + amount)
 
     def timer(self, bucket: str) -> Timer:
+        """Context manager accumulating its wall time into *bucket*."""
+
         return Timer(self, bucket)
 
     def observe_ratio(self, ratio: float) -> None:
+        """Track the worst (minimum) compression ratio seen so far."""
+
         if ratio < self.min_compression_ratio:
             self.min_compression_ratio = ratio
 
     def observe_footprint(self, footprint_bytes: int) -> None:
+        """Track the peak memory footprint seen so far."""
+
         if footprint_bytes > self.peak_footprint_bytes:
             self.peak_footprint_bytes = footprint_bytes
 
@@ -171,6 +179,8 @@ class SimulationReport:
 
     @property
     def total_seconds(self) -> float:
+        """Sum of every time bucket (the run's accounted wall time)."""
+
         return (
             self.compression_seconds
             + self.decompression_seconds
@@ -181,6 +191,8 @@ class SimulationReport:
 
     @property
     def seconds_per_gate(self) -> float:
+        """Average accounted time per executed gate (0.0 before any gate)."""
+
         if self.gates_executed == 0:
             return 0.0
         return self.total_seconds / self.gates_executed
@@ -206,6 +218,8 @@ class SimulationReport:
         }
 
     def as_dict(self) -> dict:
+        """JSON-ready mapping of every metric (used by benchmarks/docs)."""
+
         data = {
             "num_qubits": self.num_qubits,
             "num_ranks": self.num_ranks,

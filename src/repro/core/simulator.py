@@ -238,30 +238,44 @@ class CompressedSimulator:
 
     @property
     def num_qubits(self) -> int:
+        """Number of qubits being simulated."""
+
         return self._num_qubits
 
     @property
     def config(self) -> SimulatorConfig:
+        """The immutable configuration this simulator was built from."""
+
         return self._config
 
     @property
     def partition(self) -> Partition:
+        """The rank/block partition of the simulated machine."""
+
         return self._partition
 
     @property
     def state(self) -> CompressedStateVector:
+        """The compressed state vector being evolved."""
+
         return self._state
 
     @property
     def comm(self) -> SimulatedCommunicator:
+        """The inter-rank communicator (records MPI-equivalent traffic)."""
+
         return self._comm
 
     @property
     def cache(self) -> BlockCache | None:
+        """The block-transform cache, or ``None`` when disabled."""
+
         return self._cache
 
     @property
     def controller(self) -> AdaptiveErrorController:
+        """The adaptive error-bound controller steering the codecs."""
+
         return self._controller
 
     @property
@@ -273,14 +287,20 @@ class CompressedSimulator:
 
     @property
     def current_error_bound(self) -> float:
+        """The error bound the controller currently applies (0 = lossless)."""
+
         return self._controller.current_bound
 
     @property
     def gate_count(self) -> int:
+        """How many gates have been applied so far."""
+
         return self._gate_index
 
     @property
     def executor(self) -> TaskExecutor:
+        """The task executor running block plans (thread or process tier)."""
+
         return self._executor
 
     # -- lifecycle ----------------------------------------------------------------------
@@ -532,6 +552,8 @@ class CompressedSimulator:
             # than failing the recovery.
             try:
                 meta, blocks = read_checkpoint(self._resilience_ckpt)
+            # repro-lint: disable=error-taxonomy -- recovery path: a torn
+            # checkpoint degrades to replay-from-start, never fails recovery
             except Exception:
                 meta = blocks = None
 

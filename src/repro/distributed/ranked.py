@@ -64,7 +64,7 @@ from ..core.procpool import (
     raise_worker_error,
 )
 from ..core.report import SimulationReport
-from ..errors import ProcessCommTimeout
+from ..errors import PoolProtocolError, ProcessCommTimeout
 from ..statevector import ops
 from .comm import CommunicationStats, SimulatedCommunicator, aggregate_rank_stats
 from .exchange import GatePlan
@@ -798,7 +798,7 @@ class RankedExecutor:
 
     def _require_pool(self) -> ProcessPool:
         if self._pool is None:
-            raise RuntimeError(
+            raise PoolProtocolError(
                 "the ranked executor is closed; state now lives nowhere — "
                 "rebuild the simulator"
             )
@@ -844,7 +844,11 @@ class RankedExecutor:
         if reply[0] == "err":
             raise_worker_error(reply, f"request {message[0]!r} failed on rank {rank}")
         if worker_id != rank:  # pragma: no cover - protocol invariant
-            raise RuntimeError("out-of-band reply from another rank")
+            raise PoolProtocolError(
+                "out-of-band reply from another rank",
+                worker_id=worker_id,
+                op=message[0],
+            )
         return reply
 
     def fetch_block(self, rank: int, block: int) -> CompressedBlock:

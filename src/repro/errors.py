@@ -28,6 +28,7 @@ __all__ = [
     "ProcessCommTimeout",
     "BlockCorruptionError",
     "CheckpointError",
+    "PoolProtocolError",
 ]
 
 
@@ -157,3 +158,26 @@ class CheckpointError(ReproError):
     """
 
     context_fields = ("path",)
+
+
+class PoolProtocolError(ReproError):
+    """The pool/executor API was driven outside its documented protocol.
+
+    Raised for caller mistakes — submitting past the per-worker outstanding
+    cap, collecting replies with nothing in flight, driving a closed ranked
+    executor, a reply arriving for a ticket nobody submitted — as opposed to
+    the environmental failures (:class:`WorkerCrashedError`,
+    :class:`ProcessCommTimeout`) that the resilience machinery retries.  A
+    protocol error is a bug in the driving code and is never retried.
+
+    Context
+    -------
+    worker_id:
+        Worker (or rank) whose protocol state was violated, when one is
+        identifiable.
+    op:
+        The API operation that detected the violation ("submit",
+        "recv_any", ...).
+    """
+
+    context_fields = ("worker_id", "op")

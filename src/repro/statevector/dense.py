@@ -67,6 +67,8 @@ class DenseSimulator:
 
     @property
     def num_qubits(self) -> int:
+        """Number of qubits the dense state represents."""
+
         return self._num_qubits
 
     @property
@@ -130,20 +132,30 @@ class DenseSimulator:
     # -- measurement and analysis -------------------------------------------------
 
     def probabilities(self) -> np.ndarray:
+        """Measurement probabilities of every computational basis state."""
+
         return measurement.probabilities(self._state)
 
     def probability_of(self, basis_state: int) -> float:
+        """Probability of measuring the given computational *basis_state*."""
+
         return float(np.abs(self._state[basis_state]) ** 2)
 
     def marginal_probability(self, qubit: int) -> float:
+        """Probability that measuring *qubit* alone yields 1."""
+
         return measurement.marginal_probability(self._state, qubit)
 
     def expectation_z(self, qubit: int) -> float:
+        """Expectation value of the Pauli-Z observable on *qubit*."""
+
         return measurement.expectation_z(self._state, qubit)
 
     def sample_counts(
         self, shots: int, rng: np.random.Generator | None = None
     ) -> dict[int, int]:
+        """Sample *shots* measurement outcomes; ``{basis_state: count}``."""
+
         return measurement.sample_counts(self._state, shots, rng)
 
     def measure(
@@ -162,6 +174,8 @@ class DenseSimulator:
         return measurement.state_fidelity(self._state, other_state)
 
     def norm_error(self) -> float:
+        """Deviation of the state norm from 1 (numerical-drift check)."""
+
         return measurement.norm_error(self._state)
 
 

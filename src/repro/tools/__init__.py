@@ -1,0 +1,16 @@
+"""Developer tooling that ships with the repository.
+
+Unlike :mod:`repro.core` or :mod:`repro.backends`, nothing in here runs
+inside a simulation — these are the tools that keep the codebase honest.
+Like the documentation builder (``docs/build_docs.py``), everything is
+self-contained stdlib code: the reproduction container cannot install
+third-party linters, so the project carries its own.
+
+Contents
+--------
+:mod:`repro.tools.lint`
+    The project-native static analyser: an AST rule engine enforcing the
+    concurrency, pickling and error-taxonomy contracts that the execution
+    tiers otherwise only check at runtime (often only under fault
+    injection).  Run it as ``python -m repro.tools.lint``.
+"""

@@ -1,0 +1,102 @@
+"""Command line front end of the linter (``python -m repro.tools.lint``).
+
+Renders a :class:`~repro.tools.lint.engine.LintReport` as human-readable
+lines or a ``--json`` document, and gates the exit code: 0 when clean, 1
+when any non-suppressed diagnostic survives, 2 on usage errors.  The JSON
+form is what CI uploads as the ``lint-report`` artifact and what
+``benchmarks/trend.py --lint`` distills into ``TREND.jsonl`` records.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .config import project_config
+from .engine import all_rules, lint_paths
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.lint",
+        description="Project-native static analysis for the repro codebase.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files/directories to lint (default: the committed repo scope)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable JSON report on stdout",
+    )
+    parser.add_argument(
+        "--select",
+        default="",
+        metavar="RULES",
+        help="comma-separated rule ids to run exclusively",
+    )
+    parser.add_argument(
+        "--ignore",
+        default="",
+        metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def _parse_rule_set(raw: str) -> frozenset[str]:
+    return frozenset(part.strip() for part in raw.split(",") if part.strip())
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the linter; returns the process exit code (0/1/2)."""
+
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, rule_cls in sorted(all_rules().items()):
+            print(f"{rule_id:20s} {rule_cls.summary}")
+        return 0
+
+    try:
+        config = project_config(
+            select=_parse_rule_set(args.select),
+            ignore=_parse_rule_set(args.ignore),
+        )
+        paths = (
+            [path for path in args.paths] if args.paths else config.default_paths()
+        )
+        missing = [str(path) for path in paths if not path.exists()]
+        if missing:
+            print(f"error: no such path(s): {', '.join(missing)}", file=sys.stderr)
+            return 2
+        report = lint_paths(paths, config)
+    except ValueError as exc:  # unknown --select/--ignore rule ids
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        for diagnostic in report.diagnostics:
+            print(diagnostic.render())
+        summary = (
+            f"{len(report.diagnostics)} diagnostic(s), "
+            f"{len(report.suppressed)} suppressed, "
+            f"{report.files_checked} file(s), "
+            f"{len(report.rules_active)} rule(s) active"
+        )
+        print(("FAILED: " if report.diagnostics else "clean: ") + summary)
+    return report.exit_code

@@ -1,0 +1,132 @@
+"""determinism: no global-RNG calls, no wall-clock control flow.
+
+Every execution tier is asserted *bit-identical* to the sequential
+reference, and batched runs replay seeds through a ``SeedSequence`` ladder —
+one ``np.random.shuffle()`` against the process-global generator anywhere in
+the library silently breaks both.  Likewise ``time.time()`` is wall clock:
+it jumps under NTP and differs across ranks, so interval measurement and
+control flow must use ``time.monotonic()`` / ``time.perf_counter()``
+(benchmarks, which legitimately record timestamps, are exempt by path
+configuration).
+
+Flagged:
+
+* calls through the module-global numpy RNG (``np.random.<fn>(...)``) —
+  construct a seeded ``np.random.default_rng(seed)`` / ``Generator``;
+* calls through the module-global stdlib RNG (``random.<fn>(...)``) —
+  construct a seeded ``random.Random(seed)``;
+* any ``time.time()`` call.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import LintRule, ModuleContext, rule
+
+__all__ = ["DeterminismRule"]
+
+#: np.random attributes that are seeded-generator *constructors* (allowed);
+#: every other np.random attribute call is global-state.
+_NUMPY_ALLOWED = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "RandomState",  # explicit-seed legacy generator, still instance-local
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+        "BitGenerator",
+    }
+)
+
+#: random-module attributes that build instance-local generators (allowed).
+_STDLIB_ALLOWED = frozenset({"Random", "SystemRandom"})
+
+
+def _dotted(node: ast.AST) -> list[str] | None:
+    """``a.b.c`` attribute chain as ``["a", "b", "c"]`` (None when dynamic)."""
+
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return parts[::-1]
+    return None
+
+
+@rule
+class DeterminismRule(LintRule):
+    """Flag unseeded global-RNG calls and wall-clock ``time.time()`` use."""
+
+    id = "determinism"
+    summary = "no np.random.*/random.* global-state calls, no time.time()"
+
+    def check_module(self, ctx: ModuleContext):
+        """Flag unseeded RNG constructors/functions and time-based control flow."""
+
+        imports = ctx.imports
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _dotted(node.func)
+            if chain is None:
+                continue
+            root_module = imports.get(chain[0], chain[0])
+            # np.random.<fn>(...) — three-part chain rooted at numpy.
+            if (
+                len(chain) == 3
+                and root_module == "numpy"
+                and chain[1] == "random"
+                and chain[2] not in _NUMPY_ALLOWED
+            ):
+                yield ctx.diagnostic(
+                    self.id,
+                    node,
+                    f"call to the process-global numpy RNG "
+                    f"({'.'.join([root_module, *chain[1:]])}); use a seeded "
+                    "np.random.default_rng(seed) instance so runs replay "
+                    "bit-identically",
+                )
+            # random.<fn>(...) — the stdlib module-global generator.
+            elif (
+                len(chain) == 2
+                and root_module == "random"
+                and chain[1] not in _STDLIB_ALLOWED
+            ):
+                yield ctx.diagnostic(
+                    self.id,
+                    node,
+                    f"call to the process-global stdlib RNG "
+                    f"({'.'.join(chain)}); use a seeded random.Random(seed) "
+                    "instance",
+                )
+            # from random import shuffle; shuffle(...) — same generator.
+            elif (
+                len(chain) == 1
+                and imports.get(chain[0], "").startswith("random.")
+                and imports[chain[0]].split(".", 1)[1] not in _STDLIB_ALLOWED
+            ):
+                yield ctx.diagnostic(
+                    self.id,
+                    node,
+                    f"call to the process-global stdlib RNG "
+                    f"({imports[chain[0]]}); use a seeded "
+                    "random.Random(seed) instance",
+                )
+            elif chain[-1] == "time" and (
+                (len(chain) == 2 and root_module == "time")
+                or (len(chain) == 1 and imports.get(chain[0], "") == "time.time")
+            ):
+                yield ctx.diagnostic(
+                    self.id,
+                    node,
+                    "time.time() is wall clock (jumps under NTP, differs "
+                    "across ranks); use time.monotonic() or "
+                    "time.perf_counter() for intervals and deadlines",
+                )

@@ -1,0 +1,116 @@
+"""error-taxonomy: failures surface as typed :mod:`repro.errors` exceptions.
+
+PR 7 gave every execution-tier failure a typed, picklable exception carrying
+structured context (worker id, rank, wave index) so the resilience machinery
+routes failures without parsing strings.  That contract erodes in two ways:
+
+* **Swallowed exceptions** — a bare ``except:`` or ``except Exception:``
+  whose handler never re-raises hides crashes the recovery ladder should
+  see.  Handlers that *do* re-raise (bare ``raise``, or raising a typed
+  wrapper) are fine; genuinely intentional swallows (best-effort teardown)
+  carry a reasoned suppression.
+* **Untyped failures** — ``raise RuntimeError(...)`` from a public module
+  gives callers nothing to catch but a string.  Failure-shaped builtins
+  (RuntimeError/OSError/...) must be :mod:`repro.errors` types instead.
+  Contract-shaped builtins (ValueError/TypeError/KeyError) stay allowed:
+  "you passed a bad argument" is standard-library idiom, not an
+  execution-tier failure.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import LintRule, ModuleContext, rule
+
+__all__ = ["ErrorTaxonomyRule"]
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _handler_reraises(handler: ast.ExceptHandler) -> bool:
+    """Whether a handler body contains any ``raise`` (nested defs excluded)."""
+
+    stack: list[ast.AST] = list(handler.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+def _broad_names(handler: ast.ExceptHandler) -> list[str]:
+    """Names in the handler's type that are Exception/BaseException."""
+
+    node = handler.type
+    if node is None:
+        return []
+    elements = node.elts if isinstance(node, ast.Tuple) else [node]
+    return [
+        element.id
+        for element in elements
+        if isinstance(element, ast.Name) and element.id in _BROAD
+    ]
+
+
+def _raised_name(node: ast.expr | None) -> str | None:
+    """The exception-class name a raise/cause expression constructs."""
+
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+@rule
+class ErrorTaxonomyRule(LintRule):
+    """Flag swallowed broad excepts and failure-builtin raises in public code."""
+
+    id = "error-taxonomy"
+    summary = (
+        "no except:/except Exception without re-raise; failure builtins "
+        "(RuntimeError, OSError, ...) must be repro.errors types"
+    )
+
+    def check_module(self, ctx: ModuleContext):
+        """Flag bare/broad excepts without re-raise and forbidden builtin raises."""
+
+        forbidden = frozenset(ctx.option(self.id, "forbidden_raises", ()))
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler):
+                if node.type is None and not _handler_reraises(node):
+                    yield ctx.diagnostic(
+                        self.id,
+                        node,
+                        "bare 'except:' swallows every failure (including "
+                        "KeyboardInterrupt); name the exception types, or "
+                        "re-raise",
+                    )
+                    continue
+                broad = _broad_names(node)
+                if broad and not _handler_reraises(node):
+                    yield ctx.diagnostic(
+                        self.id,
+                        node,
+                        f"'except {broad[0]}' without re-raise hides failures "
+                        "from the recovery machinery; catch the specific "
+                        "repro.errors type, or re-raise a typed wrapper",
+                    )
+            elif isinstance(node, ast.Raise):
+                for expr, role in ((node.exc, "raise"), (node.cause, "cause")):
+                    name = _raised_name(expr)
+                    if name in forbidden:
+                        yield ctx.diagnostic(
+                            self.id,
+                            node,
+                            f"{role} of builtin {name} from a public repro "
+                            "module; failures must be typed — use (or add) a "
+                            "repro.errors.ReproError subclass with "
+                            "structured context",
+                        )

@@ -1,0 +1,496 @@
+"""lock-order: a static deadlock detector for the threading-lock graph.
+
+The thread tier's locks (`TaskExecutor._pool_guard`, `BlockCache._mutex`,
+`SimulationReport._mutex`, `ScratchPool._available`) are individually tiny,
+but deadlocks are a *composition* property: thread 1 holds A and wants B
+while thread 2 holds B and wants A, or a thread blocks forever on a queue
+while holding a lock every producer needs.  Neither shows up in unit tests
+until the exact interleaving fires — usually under chaos mode.  This rule
+builds the static lock-acquisition graph across the analyzed modules and
+flags the two shapes:
+
+* **Cycles** — lock B acquired (directly, or transitively through calls the
+  analyzer can resolve: ``self.method()`` and same-module functions) while
+  lock A is held, and elsewhere A while B.  Reported once per cycle with the
+  full path and every edge's acquisition site.  Re-entrant self-edges on an
+  ``RLock`` are legal and exempt; a self-edge on a plain ``Lock`` is a
+  guaranteed self-deadlock and reported.
+* **Blocking calls under a lock** — ``join``/``recv``/``get`` (zero
+  positional arguments, so ``dict.get(key)`` and ``", ".join(parts)`` never
+  match) or ``sleep`` called while any lock is held.  Waiting on a held
+  :class:`threading.Condition` is the sanctioned sleep and exempt.
+
+Lock identity is ``<module-stem>.<Class>.<attr>`` for ``self._x =
+threading.Lock()`` attributes (including ``field(default_factory=...)``
+dataclass fields) and ``<module-stem>.<NAME>`` for module globals.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+
+from ..engine import Diagnostic, LintRule, ModuleContext, rule
+
+__all__ = ["LockOrderRule"]
+
+#: threading constructors that create a lock-like object.
+_LOCK_TYPES = frozenset(
+    {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+)
+
+#: Blocking-call names that count regardless of arguments.
+_ALWAYS_BLOCKING = frozenset({"sleep"})
+
+
+@dataclass(frozen=True)
+class _Lock:
+    """One lock object: stable display id plus its constructor kind."""
+
+    id: str
+    kind: str  # "Lock" | "RLock" | "Condition" | ...
+
+    @property
+    def reentrant(self) -> bool:
+        return self.kind in ("RLock", "Condition")
+
+
+@dataclass
+class _FunctionFacts:
+    """Per-function analysis results feeding the interprocedural pass."""
+
+    key: tuple  # (rel, class name | None, function name)
+    direct_acquires: list[tuple[_Lock, ast.AST, tuple[_Lock, ...]]] = field(
+        default_factory=list
+    )
+    calls: list[tuple[tuple[_Lock, ...], tuple, ast.AST, str]] = field(
+        default_factory=list
+    )
+    blocking: list[tuple[ast.Call, str, _Lock]] = field(default_factory=list)
+
+
+def _threading_lock_kind(node: ast.expr, imports: dict[str, str]) -> str | None:
+    """The lock kind a call expression constructs, or None."""
+
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        if imports.get(func.value.id, func.value.id) == "threading":
+            return func.attr if func.attr in _LOCK_TYPES else None
+    if isinstance(func, ast.Name):
+        resolved = imports.get(func.id, "")
+        if resolved.startswith("threading."):
+            kind = resolved.split(".", 1)[1]
+            return kind if kind in _LOCK_TYPES else None
+    return None
+
+
+def _default_factory_kind(node: ast.expr, imports: dict[str, str]) -> str | None:
+    """Lock kind of a ``field(default_factory=threading.RLock)`` annotation."""
+
+    if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)):
+        return None
+    if imports.get(node.func.id, node.func.id).split(".")[-1] != "field":
+        return None
+    for keyword in node.keywords:
+        if keyword.arg != "default_factory":
+            continue
+        value = keyword.value
+        if isinstance(value, ast.Attribute) and isinstance(value.value, ast.Name):
+            if imports.get(value.value.id, value.value.id) == "threading":
+                return value.attr if value.attr in _LOCK_TYPES else None
+        if isinstance(value, ast.Name):
+            resolved = imports.get(value.id, "")
+            if resolved.startswith("threading."):
+                kind = resolved.split(".", 1)[1]
+                return kind if kind in _LOCK_TYPES else None
+    return None
+
+
+class _FunctionWalker:
+    """Walk one function's statements tracking the held-lock stack."""
+
+    def __init__(
+        self,
+        facts: _FunctionFacts,
+        class_locks: dict[str, _Lock],
+        module_locks: dict[str, _Lock],
+        class_methods: set[str],
+        module_functions: set[str],
+        rel: str,
+        class_name: str | None,
+        blocking_names: frozenset[str],
+    ) -> None:
+        self.facts = facts
+        self.class_locks = class_locks
+        self.module_locks = module_locks
+        self.class_methods = class_methods
+        self.module_functions = module_functions
+        self.rel = rel
+        self.class_name = class_name
+        self.blocking_names = blocking_names
+        self.held: list[_Lock] = []
+
+    # -- lock resolution --------------------------------------------------------------
+
+    def resolve_lock(self, node: ast.expr) -> _Lock | None:
+        """The lock a ``with``/``.acquire()`` receiver expression names."""
+
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return self.class_locks.get(node.attr)
+        if isinstance(node, ast.Name):
+            return self.module_locks.get(node.id)
+        return None
+
+    # -- statement walk ---------------------------------------------------------------
+
+    def walk_body(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            self.walk_stmt(stmt)
+
+    def walk_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.With):
+            acquired: list[_Lock] = []
+            for item in stmt.items:
+                self.scan_expr(item.context_expr, skip_lock_with=True)
+                lock = self.resolve_lock(item.context_expr)
+                if lock is not None:
+                    self.record_acquire(lock, item.context_expr)
+                    self.held.append(lock)
+                    acquired.append(lock)
+            self.walk_body(stmt.body)
+            for _ in acquired:
+                self.held.pop()
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            pass  # nested scopes are analyzed as their own functions
+        elif isinstance(stmt, ast.Try):
+            self.walk_body(stmt.body)
+            for handler in stmt.handlers:
+                self.walk_body(handler.body)
+            self.walk_body(stmt.orelse)
+            self.walk_body(stmt.finalbody)
+        elif isinstance(stmt, (ast.If, ast.While)):
+            self.scan_expr(stmt.test)
+            self.walk_body(stmt.body)
+            self.walk_body(stmt.orelse)
+        elif isinstance(stmt, ast.For):
+            self.scan_expr(stmt.iter)
+            self.walk_body(stmt.body)
+            self.walk_body(stmt.orelse)
+        else:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Call):
+                    self.scan_call(node)
+
+    def scan_expr(self, expr: ast.expr, skip_lock_with: bool = False) -> None:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                if skip_lock_with and node is expr:
+                    continue
+                self.scan_call(node)
+
+    # -- events -----------------------------------------------------------------------
+
+    def record_acquire(self, lock: _Lock, node: ast.expr) -> None:
+        self.facts.direct_acquires.append((lock, node, tuple(self.held)))
+
+    def scan_call(self, node: ast.Call) -> None:
+        func = node.func
+        # Explicit .acquire()/.release() on a resolvable lock.
+        if isinstance(func, ast.Attribute):
+            receiver_lock = self.resolve_lock(func.value)
+            if receiver_lock is not None and func.attr == "acquire":
+                self.record_acquire(receiver_lock, node)
+                self.held.append(receiver_lock)
+                return
+            if receiver_lock is not None and func.attr == "release":
+                if receiver_lock in self.held:
+                    self.held.remove(receiver_lock)
+                return
+            if receiver_lock is not None:
+                return  # wait()/notify() on a lock we can name: sanctioned
+        if not self.held:
+            self.resolve_callee(node)
+            return
+        # Blocking-call check while at least one lock is held.
+        name = (
+            func.attr
+            if isinstance(func, ast.Attribute)
+            else func.id
+            if isinstance(func, ast.Name)
+            else None
+        )
+        if name in self.blocking_names and (
+            name in _ALWAYS_BLOCKING or not node.args
+        ):
+            self.facts.blocking.append((node, name, self.held[-1]))
+        self.resolve_callee(node)
+
+    def resolve_callee(self, node: ast.Call) -> None:
+        """Record resolvable callees for the interprocedural closure."""
+
+        func = node.func
+        callee: tuple | None = None
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+            and func.attr in self.class_methods
+        ):
+            callee = (self.rel, self.class_name, func.attr)
+        elif isinstance(func, ast.Name) and func.id in self.module_functions:
+            callee = (self.rel, None, func.id)
+        if callee is not None:
+            self.facts.calls.append(
+                (tuple(self.held), callee, node, callee[-1])
+            )
+
+
+@rule
+class LockOrderRule(LintRule):
+    """Flag lock-order cycles and blocking calls made while holding a lock."""
+
+    id = "lock-order"
+    summary = (
+        "no lock-acquisition cycles; no join/recv/get/sleep while holding "
+        "a lock"
+    )
+
+    def finalize(self, modules: list[ModuleContext]):
+        """Build the whole-program lock graph and report cycles/blocking holds."""
+
+        blocking_names: frozenset[str] = frozenset()
+        all_facts: dict[tuple, _FunctionFacts] = {}
+        contexts: dict[str, ModuleContext] = {}
+        for ctx in modules:
+            contexts[ctx.rel] = ctx
+            blocking_names = blocking_names | frozenset(
+                ctx.option(self.id, "blocking_calls", ("join", "recv", "get", "sleep"))
+            )
+            for facts in self._analyze_module(ctx, blocking_names):
+                all_facts[facts.key] = facts
+
+        # Interprocedural closure: every lock a function may acquire,
+        # directly or through resolvable calls (bounded fixpoint).
+        closure: dict[tuple, set[_Lock]] = {
+            key: {lock for lock, _, _ in facts.direct_acquires}
+            for key, facts in all_facts.items()
+        }
+        changed = True
+        while changed:
+            changed = False
+            for key, facts in all_facts.items():
+                for _, callee, _, _ in facts.calls:
+                    extra = closure.get(callee, set()) - closure[key]
+                    if extra:
+                        closure[key].update(extra)
+                        changed = True
+
+        # Edges: (from, to) -> (rel, node, description), first site wins.
+        edges: dict[tuple[str, str], tuple[str, ast.AST, str]] = {}
+        for key, facts in all_facts.items():
+            rel = key[0]
+            for lock, node, held_before in facts.direct_acquires:
+                for held in held_before:
+                    self._add_edge(edges, held, lock, rel, node, "acquired here")
+            for held_stack, callee, node, callee_name in facts.calls:
+                for target in closure.get(callee, ()):
+                    for held in held_stack:
+                        self._add_edge(
+                            edges,
+                            held,
+                            target,
+                            rel,
+                            node,
+                            f"via call to {callee_name}()",
+                        )
+
+        lock_by_id = {
+            lock.id: lock
+            for facts in all_facts.values()
+            for lock, _, _ in facts.direct_acquires
+        }
+        diagnostics: list[Diagnostic] = []
+        diagnostics.extend(self._cycle_diagnostics(edges, lock_by_id))
+        for key, facts in all_facts.items():
+            ctx = contexts[key[0]]
+            for node, name, held in facts.blocking:
+                diagnostics.append(
+                    ctx.diagnostic(
+                        self.id,
+                        node,
+                        f"blocking call {name}() while holding lock "
+                        f"{held.id}; any thread needing that lock now waits "
+                        "on this call's peer — move the blocking operation "
+                        "outside the critical section",
+                    )
+                )
+        return diagnostics
+
+    # -- per-module analysis ----------------------------------------------------------
+
+    def _analyze_module(self, ctx: ModuleContext, blocking_names: frozenset[str]):
+        stem = PurePosixPath(ctx.rel).stem
+        imports = ctx.imports
+
+        module_locks: dict[str, _Lock] = {}
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                kind = _threading_lock_kind(stmt.value, imports)
+                if kind and isinstance(target, ast.Name):
+                    module_locks[target.id] = _Lock(f"{stem}.{target.id}", kind)
+
+        class_lock_maps: dict[str, dict[str, _Lock]] = {}
+        class_method_sets: dict[str, set[str]] = {}
+        for node in ctx.tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            locks: dict[str, _Lock] = {}
+            methods: set[str] = set()
+            for member in node.body:
+                if isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    methods.add(member.name)
+                    for inner in ast.walk(member):
+                        if isinstance(inner, ast.Assign):
+                            kind = _threading_lock_kind(inner.value, imports)
+                            if kind:
+                                for target in inner.targets:
+                                    if (
+                                        isinstance(target, ast.Attribute)
+                                        and isinstance(target.value, ast.Name)
+                                        and target.value.id == "self"
+                                    ):
+                                        locks[target.attr] = _Lock(
+                                            f"{stem}.{node.name}.{target.attr}",
+                                            kind,
+                                        )
+                elif isinstance(member, ast.AnnAssign) and member.value is not None:
+                    kind = _default_factory_kind(member.value, imports)
+                    if kind and isinstance(member.target, ast.Name):
+                        locks[member.target.id] = _Lock(
+                            f"{stem}.{node.name}.{member.target.id}", kind
+                        )
+            class_lock_maps[node.name] = locks
+            class_method_sets[node.name] = methods
+
+        module_functions = {
+            stmt.name
+            for stmt in ctx.tree.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                facts = _FunctionFacts(key=(ctx.rel, None, stmt.name))
+                walker = _FunctionWalker(
+                    facts,
+                    {},
+                    module_locks,
+                    set(),
+                    module_functions,
+                    ctx.rel,
+                    None,
+                    blocking_names,
+                )
+                walker.walk_body(stmt.body)
+                yield facts
+            elif isinstance(stmt, ast.ClassDef):
+                for member in stmt.body:
+                    if isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        facts = _FunctionFacts(key=(ctx.rel, stmt.name, member.name))
+                        walker = _FunctionWalker(
+                            facts,
+                            class_lock_maps[stmt.name],
+                            module_locks,
+                            class_method_sets[stmt.name],
+                            module_functions,
+                            ctx.rel,
+                            stmt.name,
+                            blocking_names,
+                        )
+                        walker.walk_body(member.body)
+                        yield facts
+
+    # -- graph assembly ---------------------------------------------------------------
+
+    @staticmethod
+    def _add_edge(edges, held: _Lock, acquired: _Lock, rel, node, how) -> None:
+        if held.id == acquired.id and acquired.reentrant:
+            return  # re-entering an RLock/Condition is legal
+        edges.setdefault((held.id, acquired.id), (rel, node, how))
+
+    def _cycle_diagnostics(self, edges, lock_by_id):
+        graph: dict[str, list[str]] = {}
+        for (src, dst) in edges:
+            graph.setdefault(src, []).append(dst)
+            graph.setdefault(dst, [])
+
+        # Self-deadlocks (non-reentrant lock re-acquired under itself).
+        reported: set[frozenset[str]] = set()
+        diagnostics = []
+        for (src, dst), (rel, node, how) in sorted(
+            edges.items(), key=lambda item: (item[1][0], item[1][1].lineno)
+        ):
+            if src == dst:
+                diagnostics.append(
+                    Diagnostic(
+                        self.id,
+                        rel,
+                        node.lineno,
+                        node.col_offset + 1,
+                        f"non-reentrant lock {src} re-acquired while already "
+                        f"held ({how}): guaranteed self-deadlock — use an "
+                        "RLock or restructure",
+                    )
+                )
+                reported.add(frozenset((src,)))
+
+        # Proper cycles through ≥2 locks: DFS from each node, smallest
+        # cycle found per distinct lock set.
+        for start in sorted(graph):
+            path: list[str] = []
+            diagnostics.extend(
+                self._dfs_cycles(start, start, graph, edges, path, reported, set())
+            )
+        return diagnostics
+
+    def _dfs_cycles(self, start, current, graph, edges, path, reported, visiting):
+        path.append(current)
+        visiting.add(current)
+        for nxt in sorted(graph.get(current, ())):
+            if nxt == start and len(path) > 1:
+                members = frozenset(path)
+                if members in reported:
+                    continue
+                reported.add(members)
+                cycle = path + [start]
+                sites = []
+                for a, b in zip(cycle, cycle[1:]):
+                    rel, node, how = edges[(a, b)]
+                    sites.append(f"{a} -> {b} at {rel}:{node.lineno} ({how})")
+                rel, node, _ = edges[(cycle[0], cycle[1])]
+                yield Diagnostic(
+                    self.id,
+                    rel,
+                    node.lineno,
+                    node.col_offset + 1,
+                    "lock-order cycle "
+                    + " -> ".join(cycle)
+                    + ": two threads taking these locks in opposing order "
+                    "deadlock; acquire them in one global order ["
+                    + "; ".join(sites)
+                    + "]",
+                )
+            elif nxt not in visiting:
+                yield from self._dfs_cycles(
+                    start, nxt, graph, edges, path, reported, visiting
+                )
+        path.pop()
+        visiting.discard(current)

@@ -1,0 +1,56 @@
+"""mp-hygiene: raw multiprocessing primitives stay in the two transport modules.
+
+The process tier's correctness depends on every process and shared-memory
+segment being owned by :class:`repro.core.procpool.ProcessPool` or
+:class:`repro.distributed.process_comm.RankCommArena` — those two own the
+spawn/teardown discipline (bounded joins, single-unlink, fault arming).  A
+stray ``multiprocessing.Process`` elsewhere bypasses all of it: no crash
+detection, no chaos gating, zombies on interpreter exit.  This rule flags
+any ``import multiprocessing`` (or submodule) outside the allow-listed
+files.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import LintRule, ModuleContext, rule
+
+__all__ = ["MpHygieneRule"]
+
+
+@rule
+class MpHygieneRule(LintRule):
+    """Flag multiprocessing imports outside the sanctioned transport modules."""
+
+    id = "mp-hygiene"
+    summary = (
+        "raw multiprocessing primitives only in core/procpool.py and "
+        "distributed/process_comm.py"
+    )
+
+    def check_module(self, ctx: ModuleContext):
+        """Flag multiprocessing imports outside the two sanctioned modules."""
+
+        allowed = ctx.option(self.id, "allowed_files", ())
+        if ctx.rel in allowed:
+            return
+        for node in ast.walk(ctx.tree):
+            module = None
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] == "multiprocessing":
+                        module = alias.name
+                        break
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                if node.module.split(".")[0] == "multiprocessing":
+                    module = node.module
+            if module is not None:
+                yield ctx.diagnostic(
+                    self.id,
+                    node,
+                    f"import of {module!r} outside the process-transport "
+                    "modules; route process/shared-memory work through "
+                    "repro.core.procpool.ProcessPool or "
+                    "repro.distributed.process_comm",
+                )

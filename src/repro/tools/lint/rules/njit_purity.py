@@ -1,0 +1,231 @@
+"""njit-purity: JIT kernels stay inside the subset numba compiles.
+
+The engine contract (PR 6) is that every ``@njit`` kernel in
+:mod:`repro.compression.engines.numba_engine` compiles in **nopython** mode:
+an unsupported construct does not fail the build, it silently falls back to
+object mode (or trips at first call on a numba host only), turning the
+"≥3x over numpy" floor into a 100x regression that CI's numba-less legs
+never see.  This rule makes the unsupported constructs *lint* errors, so a
+kernel that would fall back is caught on every machine.
+
+Flagged inside any function decorated ``@njit`` (bare, called, or through
+an alias like ``@njit(**_JIT)``):
+
+* dict/set comprehensions, dict/set literals (reflected containers);
+* f-strings and ``str.format``/``%`` formatting (object-mode strings);
+* ``try/finally`` and ``with`` (unsupported control flow);
+* closures: ``lambda``, nested ``def``, ``global``/``nonlocal``;
+* ``yield`` (generators pin object mode in this codebase's usage);
+* calls outside the compiled subset: anything that is not a numpy/math
+  attribute, an allow-listed builtin, a local variable's method, or another
+  module-local kernel.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import LintRule, ModuleContext, rule
+
+__all__ = ["NjitPurityRule"]
+
+#: Builtins numba's nopython mode supports and kernels legitimately use.
+_ALLOWED_BUILTINS = frozenset(
+    {
+        "range",
+        "len",
+        "abs",
+        "min",
+        "max",
+        "int",
+        "float",
+        "bool",
+        "round",
+        "enumerate",
+        "zip",
+        "divmod",
+        "print",  # numba-supported, though kernels here avoid it
+    }
+)
+
+#: Import roots whose attribute calls are allowed inside a kernel.
+_ALLOWED_MODULE_ROOTS = frozenset({"numpy", "math", "cmath"})
+
+
+def _is_njit_decorator(node: ast.expr) -> bool:
+    """Whether a decorator expression is ``njit``/``numba.njit`` (maybe called)."""
+
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Attribute):
+        return node.attr == "njit"
+    return isinstance(node, ast.Name) and node.id == "njit"
+
+
+@rule
+class NjitPurityRule(LintRule):
+    """Flag constructs that silently drop an ``@njit`` kernel to object mode."""
+
+    id = "njit-purity"
+    summary = "@njit kernels restricted to the numba-compilable numpy/scalar subset"
+
+    def check_module(self, ctx: ModuleContext):
+        """Flag constructs inside ``@njit`` kernels that nopython cannot compile."""
+
+        local_functions = {
+            node.name
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, ast.FunctionDef)
+        }
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.FunctionDef) and any(
+                _is_njit_decorator(dec) for dec in node.decorator_list
+            ):
+                yield from self._check_kernel(ctx, node, local_functions)
+
+    def _check_kernel(
+        self, ctx: ModuleContext, kernel: ast.FunctionDef, local_functions: set[str]
+    ):
+        locals_: set[str] = {arg.arg for arg in kernel.args.args}
+        locals_.update(arg.arg for arg in kernel.args.posonlyargs)
+        locals_.update(arg.arg for arg in kernel.args.kwonlyargs)
+        for node in ast.walk(kernel):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    for name in ast.walk(target):
+                        if isinstance(name, ast.Name):
+                            locals_.add(name.id)
+            elif isinstance(node, ast.For):
+                for name in ast.walk(node.target):
+                    if isinstance(name, ast.Name):
+                        locals_.add(name.id)
+            elif isinstance(node, (ast.comprehension,)):
+                for name in ast.walk(node.target):
+                    if isinstance(name, ast.Name):
+                        locals_.add(name.id)
+
+        what = f"@njit kernel {kernel.name!r}"
+        # The decorator expressions and default values run at *definition*
+        # time in plain Python — only the body is compiled.
+        skip = {
+            id(sub)
+            for outside in (
+                kernel.decorator_list
+                + kernel.args.defaults
+                + [d for d in kernel.args.kw_defaults if d is not None]
+            )
+            for sub in ast.walk(outside)
+        }
+        for node in ast.walk(kernel):
+            if node is kernel or id(node) in skip:
+                continue
+            if isinstance(node, (ast.DictComp, ast.SetComp)):
+                yield ctx.diagnostic(
+                    self.id,
+                    node,
+                    f"{what}: dict/set comprehensions are not nopython-"
+                    "compilable (silent object-mode fallback)",
+                )
+            elif isinstance(node, (ast.Dict, ast.Set)):
+                yield ctx.diagnostic(
+                    self.id,
+                    node,
+                    f"{what}: dict/set literals are reflected Python objects; "
+                    "use arrays (or numba.typed containers outside the "
+                    "kernel)",
+                )
+            elif isinstance(node, ast.JoinedStr):
+                yield ctx.diagnostic(
+                    self.id,
+                    node,
+                    f"{what}: f-strings force object mode; return a status "
+                    "code and format in the caller",
+                )
+            elif isinstance(node, ast.Try) and node.finalbody:
+                yield ctx.diagnostic(
+                    self.id,
+                    node,
+                    f"{what}: try/finally is not nopython-compilable",
+                )
+            elif isinstance(node, ast.With):
+                yield ctx.diagnostic(
+                    self.id,
+                    node,
+                    f"{what}: 'with' blocks are not nopython-compilable",
+                )
+            elif isinstance(node, (ast.Lambda, ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield ctx.diagnostic(
+                    self.id,
+                    node,
+                    f"{what}: closures/nested functions are not supported in "
+                    "nopython mode",
+                )
+            elif isinstance(node, (ast.Global, ast.Nonlocal)):
+                yield ctx.diagnostic(
+                    self.id,
+                    node,
+                    f"{what}: global/nonlocal mutation pins the kernel to "
+                    "object mode",
+                )
+            elif isinstance(node, (ast.Yield, ast.YieldFrom)):
+                yield ctx.diagnostic(
+                    self.id,
+                    node,
+                    f"{what}: generators are outside the engine-kernel "
+                    "subset; return arrays",
+                )
+            elif isinstance(node, ast.Call):
+                diagnostic = self._check_call(
+                    ctx, what, node, locals_, local_functions
+                )
+                if diagnostic is not None:
+                    yield diagnostic
+
+    def _check_call(
+        self,
+        ctx: ModuleContext,
+        what: str,
+        node: ast.Call,
+        locals_: set[str],
+        local_functions: set[str],
+    ):
+        func = node.func
+        if isinstance(func, ast.Name):
+            name = func.id
+            if (
+                name in _ALLOWED_BUILTINS
+                or name in local_functions
+                or name in locals_
+            ):
+                return None
+            return ctx.diagnostic(
+                self.id,
+                node,
+                f"{what}: call to {name!r} is outside the compiled subset "
+                "(allowed: numpy/math, scalar builtins, other local "
+                "kernels)",
+            )
+        if isinstance(func, ast.Attribute):
+            root = func.value
+            while isinstance(root, ast.Attribute):
+                root = root.value
+            if isinstance(root, ast.Name):
+                resolved = ctx.imports.get(root.id)
+                if resolved is None or root.id in locals_:
+                    return None  # method on a local value (array.sum() etc.)
+                if resolved.split(".")[0] in _ALLOWED_MODULE_ROOTS:
+                    if func.attr == "format":
+                        return ctx.diagnostic(
+                            self.id,
+                            node,
+                            f"{what}: str.format forces object mode",
+                        )
+                    return None
+                return ctx.diagnostic(
+                    self.id,
+                    node,
+                    f"{what}: call into module {resolved!r} is outside the "
+                    "compiled subset (allowed roots: numpy, math, cmath)",
+                )
+        return None

@@ -1,0 +1,250 @@
+"""pickle-contract: everything that crosses a process boundary pickles cheaply.
+
+The process tiers (PR 4/6) ship codecs, configs and fault records to workers
+by pickle.  The project contract is **constructor-arguments-only** state:
+``__getstate__`` returns a dict of constructor arguments and
+``__setstate__`` re-runs ``self.__init__(**state)`` — so a warm object's
+caches, tables and resolved engine instances never ride the pipe, and a
+worker re-resolves its environment (e.g. a numpy-fallback host's codec gets
+real JIT kernels on a numba worker).  Records may instead be (frozen)
+dataclasses, whose default pickling is already field-only.
+
+Statically enforced, across the whole analyzed tree at once (base classes
+resolve through the project class hierarchy):
+
+* every concrete codec class (defines/inherits both ``compress`` and
+  ``decompress``) defines or inherits the ``__getstate__``/``__setstate__``
+  pair — or is a frozen dataclass;
+* a ``__getstate__`` follows the contract shape: its body is (docstring +)
+  a single ``return { ... }`` dict literal;
+* a ``__setstate__`` rebuilds through ``self.__init__(...)``;
+* configured record classes (``SimulatorConfig``, fault records, ...) are
+  dataclasses or carry the explicit pair.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from ..engine import Diagnostic, LintRule, ModuleContext, rule
+
+__all__ = ["PickleContractRule"]
+
+
+@dataclass
+class _ClassInfo:
+    """What the rule needs to know about one class definition."""
+
+    name: str
+    rel: str
+    node: ast.ClassDef
+    bases: tuple[str, ...]
+    methods: dict[str, ast.FunctionDef] = field(default_factory=dict)
+    is_dataclass: bool = False
+    is_frozen_dataclass: bool = False
+    has_abstract_method: bool = False
+    ctx: ModuleContext | None = None
+
+
+def _base_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _dataclass_flags(node: ast.ClassDef) -> tuple[bool, bool]:
+    """``(is_dataclass, is_frozen)`` from the decorator list."""
+
+    for decorator in node.decorator_list:
+        call = decorator
+        name = _base_name(call.func if isinstance(call, ast.Call) else call)
+        if name == "dataclass":
+            frozen = isinstance(call, ast.Call) and any(
+                kw.arg == "frozen"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+                for kw in call.keywords
+            )
+            return True, frozen
+    return False, False
+
+
+def _is_abstract(method: ast.FunctionDef) -> bool:
+    return any(
+        _base_name(dec) == "abstractmethod" for dec in method.decorator_list
+    )
+
+
+@rule
+class PickleContractRule(LintRule):
+    """Flag boundary-crossing classes without constructor-args-only pickling."""
+
+    id = "pickle-contract"
+    summary = (
+        "process-boundary classes define constructor-args-only "
+        "__getstate__/__setstate__ (or are frozen dataclasses)"
+    )
+
+    def finalize(self, modules: list[ModuleContext]):
+        """Resolve class hierarchies across modules, then check each boundary class."""
+
+        classes: dict[str, _ClassInfo] = {}
+        record_names: set[str] = set()
+        for ctx in modules:
+            record_names.update(ctx.option(self.id, "record_classes", ()))
+            for node in ast.walk(ctx.tree):
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                info = _ClassInfo(
+                    name=node.name,
+                    rel=ctx.rel,
+                    node=node,
+                    bases=tuple(
+                        name
+                        for name in (_base_name(base) for base in node.bases)
+                        if name is not None
+                    ),
+                    ctx=ctx,
+                )
+                info.is_dataclass, info.is_frozen_dataclass = _dataclass_flags(node)
+                for member in node.body:
+                    if isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        info.methods[member.name] = member
+                        if _is_abstract(member):
+                            info.has_abstract_method = True
+                # First definition wins on (unlikely) name collisions.
+                classes.setdefault(node.name, info)
+
+        diagnostics: list[Diagnostic] = []
+        for info in classes.values():
+            if self._is_codec(info, classes):
+                diagnostics.extend(self._check_boundary_class(info, classes))
+            elif info.name in record_names:
+                diagnostics.extend(self._check_record_class(info, classes))
+        # Shape checks apply to every explicit pair, codec or not: a
+        # __getstate__ that pickles live state is wrong wherever it is.
+        for info in classes.values():
+            getstate = info.methods.get("__getstate__")
+            if getstate is not None:
+                diagnostics.extend(self._check_getstate_shape(info, getstate))
+            setstate = info.methods.get("__setstate__")
+            if setstate is not None:
+                diagnostics.extend(self._check_setstate_shape(info, setstate))
+        return diagnostics
+
+    # -- class classification ---------------------------------------------------------
+
+    def _mro(self, info: _ClassInfo, classes: dict[str, _ClassInfo]):
+        """*info* plus its project-resolvable ancestors (cycle-safe)."""
+
+        seen: list[_ClassInfo] = []
+        stack = [info]
+        visited = set()
+        while stack:
+            current = stack.pop(0)
+            if current.name in visited:
+                continue
+            visited.add(current.name)
+            seen.append(current)
+            for base in current.bases:
+                if base in classes:
+                    stack.append(classes[base])
+        return seen
+
+    def _resolves(self, info: _ClassInfo, classes, method: str) -> bool:
+        return any(method in ancestor.methods for ancestor in self._mro(info, classes))
+
+    def _is_codec(self, info: _ClassInfo, classes) -> bool:
+        """Concrete class that defines/inherits both compress and decompress."""
+
+        if info.has_abstract_method:
+            return False
+        if any(base in ("ABC", "Protocol") for base in info.bases):
+            return False
+        chain = self._mro(info, classes)
+        has = {
+            name
+            for ancestor in chain
+            for name, method in ancestor.methods.items()
+            if name in ("compress", "decompress") and not _is_abstract(method)
+        }
+        return has == {"compress", "decompress"}
+
+    # -- checks -----------------------------------------------------------------------
+
+    def _check_boundary_class(self, info: _ClassInfo, classes):
+        if info.is_frozen_dataclass:
+            return
+        missing = [
+            method
+            for method in ("__getstate__", "__setstate__")
+            if not self._resolves(info, classes, method)
+        ]
+        if missing:
+            yield info.ctx.diagnostic(
+                self.id,
+                info.node,
+                f"codec class {info.name!r} crosses the process boundary but "
+                f"lacks {' and '.join(missing)}; define the constructor-"
+                "args-only pair (or make it a frozen dataclass) so workers "
+                "rebuild warm state instead of unpickling it",
+            )
+
+    def _check_record_class(self, info: _ClassInfo, classes):
+        if info.is_dataclass:
+            return
+        if self._resolves(info, classes, "__getstate__") and self._resolves(
+            info, classes, "__setstate__"
+        ):
+            return
+        yield info.ctx.diagnostic(
+            self.id,
+            info.node,
+            f"record class {info.name!r} is shipped to workers but is "
+            "neither a dataclass nor defines __getstate__/__setstate__; "
+            "its pickled form is unspecified",
+        )
+
+    def _check_getstate_shape(self, info: _ClassInfo, method: ast.FunctionDef):
+        body = list(method.body)
+        if (
+            body
+            and isinstance(body[0], ast.Expr)
+            and isinstance(body[0].value, ast.Constant)
+            and isinstance(body[0].value.value, str)
+        ):
+            body = body[1:]
+        if (
+            len(body) == 1
+            and isinstance(body[0], ast.Return)
+            and isinstance(body[0].value, ast.Dict)
+        ):
+            return
+        yield info.ctx.diagnostic(
+            self.id,
+            method,
+            f"{info.name}.__getstate__ must be a single 'return {{...}}' of "
+            "constructor arguments — derived/live state (tables, caches, "
+            "resolved engines) must be rebuilt by __init__, not pickled",
+        )
+
+    def _check_setstate_shape(self, info: _ClassInfo, method: ast.FunctionDef):
+        for node in ast.walk(method):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "__init__"
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "self"
+            ):
+                return
+        yield info.ctx.diagnostic(
+            self.id,
+            method,
+            f"{info.name}.__setstate__ must rebuild through "
+            "'self.__init__(**state)' so the constructor re-validates and "
+            "re-resolves the worker-side environment",
+        )

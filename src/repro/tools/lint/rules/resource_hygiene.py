@@ -1,0 +1,174 @@
+"""resource-hygiene: shared memory and file handles cannot leak.
+
+A leaked ``SharedMemory`` segment outlives the interpreter (it is a file in
+``/dev/shm`` until unlinked) and a leaked file handle is a descriptor the
+fault-injection chaos runs eventually exhaust.  The codebase's discipline,
+established in :mod:`repro.core.procpool`:
+
+* every ``shared_memory.SharedMemory(...)`` created is either **owned** —
+  assigned to ``self.<attr>`` in a class that defines ``close()`` or
+  ``__exit__`` — or **transferred** (directly returned), or created under a
+  ``try/finally`` that closes it;
+* every ``open(...)`` is a ``with`` context manager.
+
+This rule enforces exactly that, statically.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import LintRule, ModuleContext, rule
+
+__all__ = ["ResourceHygieneRule"]
+
+
+def _call_name(node: ast.Call) -> str | None:
+    """Last attribute/name segment of the called expression."""
+
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+class _FunctionScanner(ast.NodeVisitor):
+    """Collect resource-creation sites within one function (or module) body."""
+
+    def __init__(self) -> None:
+        self.open_calls: list[ast.Call] = []
+        self.shm_calls: list[ast.Call] = []
+        self.with_items: set[int] = set()
+        self.returned: set[int] = set()
+        self.self_assigned: set[int] = set()
+        self.has_finally_close = False
+
+    def visit_With(self, node: ast.With) -> None:
+        for item in node.items:
+            expr = item.context_expr
+            if isinstance(expr, ast.Call):
+                self.with_items.add(id(expr))
+        self.generic_visit(node)
+
+    def visit_Return(self, node: ast.Return) -> None:
+        if isinstance(node.value, ast.Call):
+            self.returned.add(id(node.value))
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if isinstance(node.value, ast.Call):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    self.self_assigned.add(id(node.value))
+        self.generic_visit(node)
+
+    def visit_Try(self, node: ast.Try) -> None:
+        if node.finalbody:
+            for final_node in ast.walk(ast.Module(body=node.finalbody, type_ignores=[])):
+                if (
+                    isinstance(final_node, ast.Call)
+                    and _call_name(final_node) in ("close", "unlink", "cleanup")
+                ):
+                    self.has_finally_close = True
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _call_name(node)
+        if name == "open" and isinstance(node.func, ast.Name):
+            self.open_calls.append(node)
+        elif name == "SharedMemory":
+            self.shm_calls.append(node)
+        self.generic_visit(node)
+
+    # Nested defs get their own scanner pass; do not double-visit.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass
+
+
+def _class_has_teardown(cls: ast.ClassDef) -> bool:
+    return any(
+        isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and member.name in ("close", "__exit__", "__del__")
+        for member in cls.body
+    )
+
+
+@rule
+class ResourceHygieneRule(LintRule):
+    """Flag SharedMemory/file handles that no close path can reach."""
+
+    id = "resource-hygiene"
+    summary = "SharedMemory/open() handles closed via with, finally, or owner close()"
+
+    def check_module(self, ctx: ModuleContext):
+        """Flag open()/SharedMemory acquisitions with no deterministic release."""
+
+        yield from self._scan_scope(ctx, ctx.tree.body, enclosing_class=None)
+
+    def _scan_scope(self, ctx: ModuleContext, body, enclosing_class):
+        scanner = _FunctionScanner()
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            scanner.visit(stmt)
+        yield from self._report(ctx, scanner, enclosing_class)
+        for stmt in body:
+            if isinstance(stmt, ast.ClassDef):
+                yield from self._scan_scope(ctx, stmt.body, enclosing_class=stmt)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fn_scanner = _FunctionScanner()
+                for inner in stmt.body:
+                    fn_scanner.visit(inner)
+                yield from self._report(ctx, fn_scanner, enclosing_class)
+                # One level of nested defs is enough for this codebase; a
+                # deeper nest re-enters here through the recursion below.
+                yield from self._scan_scope(
+                    ctx,
+                    [n for n in stmt.body if isinstance(n, (ast.FunctionDef, ast.ClassDef))],
+                    enclosing_class,
+                )
+
+    def _report(self, ctx: ModuleContext, scanner: _FunctionScanner, enclosing_class):
+        owner_ok = enclosing_class is not None and _class_has_teardown(enclosing_class)
+        for call in scanner.open_calls:
+            if id(call) in scanner.with_items:
+                continue
+            if id(call) in scanner.returned:
+                continue
+            if scanner.has_finally_close:
+                continue
+            if id(call) in scanner.self_assigned and owner_ok:
+                continue
+            yield ctx.diagnostic(
+                self.id,
+                call,
+                "open() outside a 'with' block leaks the handle on any "
+                "exception; use 'with open(...) as f:' (or close in a "
+                "finally)",
+            )
+        for call in scanner.shm_calls:
+            if id(call) in scanner.returned:
+                continue  # ownership transferred to the caller
+            if scanner.has_finally_close:
+                continue
+            if id(call) in scanner.self_assigned and owner_ok:
+                continue
+            yield ctx.diagnostic(
+                self.id,
+                call,
+                "SharedMemory segment with no reachable close: assign it to "
+                "self in a class defining close()/__exit__, close it in a "
+                "finally, or return it to a caller that does",
+            )

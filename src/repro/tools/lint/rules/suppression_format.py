@@ -1,0 +1,26 @@
+"""suppression-format: every suppression carries a reason and a real rule id.
+
+The diagnostics themselves are produced by the engine's
+:class:`~repro.tools.lint.engine.SuppressionTable` while parsing comments
+(they must exist even for files whose rules are all path-disabled, and they
+must not be suppressible by the very mechanism they police).  This class
+exists so the rule id appears in the catalog (``--list-rules``), can be
+selected, and is documented like every other rule.
+"""
+
+from __future__ import annotations
+
+from ..engine import SUPPRESSION_FORMAT, LintRule, rule
+
+__all__ = ["SuppressionFormatRule"]
+
+
+@rule
+class SuppressionFormatRule(LintRule):
+    """Catalog entry for the engine-level suppression checks (no-op body)."""
+
+    id = SUPPRESSION_FORMAT
+    summary = (
+        "disable= comments name known rules and carry a ' -- reason'; "
+        "reasonless suppressions do not suppress"
+    )

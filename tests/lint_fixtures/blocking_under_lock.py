@@ -1,0 +1,30 @@
+"""Seeded lock-order regression: blocking calls made while holding a mutex.
+
+``pump`` calls ``recv()`` and ``backoff`` calls ``time.sleep()`` with the
+instance mutex held: every other thread needing the mutex now waits on this
+thread's pipe peer (or timer), the exact convoy shape the ``lock-order``
+rule's blocking-call check exists to catch.  The lint suite asserts both
+sites are flagged with the held lock's identity in the message.
+
+This module is never imported and never linted as part of the repository
+(``tests/lint_fixtures/*`` is excluded); it exists purely as rule food.
+"""
+
+import threading
+import time
+
+
+class ReplyPump:
+    """Serialises access to a duplex pipe endpoint with one mutex."""
+
+    def __init__(self, conn) -> None:
+        self._mutex = threading.Lock()
+        self._conn = conn
+
+    def pump(self):
+        with self._mutex:
+            return self._conn.recv()
+
+    def backoff(self) -> None:
+        with self._mutex:
+            time.sleep(0.05)

@@ -1,0 +1,39 @@
+"""Seeded lock-order regression: two locks with no global acquisition order.
+
+``debit`` takes the ledger lock and then — through a resolvable
+``self._stamp_audit()`` call, exercising the analyzer's interprocedural
+closure — the audit lock; ``credit`` nests them the other way around.  Two
+threads running ``debit``/``credit`` concurrently deadlock.  The lint suite
+asserts the ``lock-order`` rule reports exactly this cycle, with both
+acquisition sites in the message.
+
+This module is never imported and never linted as part of the repository
+(``tests/lint_fixtures/*`` is excluded); it exists purely as rule food.
+"""
+
+import threading
+
+
+class LedgerPair:
+    """Owns a ledger lock and an audit lock, acquired in opposing orders."""
+
+    def __init__(self) -> None:
+        self._ledger = threading.Lock()
+        self._audit = threading.Lock()
+        self.balance = 0
+        self.entries: list[int] = []
+
+    def _stamp_audit(self, amount: int) -> None:
+        with self._audit:
+            self.entries.append(amount)
+
+    def debit(self, amount: int) -> None:
+        with self._ledger:
+            self.balance -= amount
+            self._stamp_audit(-amount)
+
+    def credit(self, amount: int) -> None:
+        with self._audit:
+            with self._ledger:
+                self.balance += amount
+                self.entries.append(amount)

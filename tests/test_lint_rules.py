@@ -1,0 +1,864 @@
+"""Per-rule tests for :mod:`repro.tools.lint`: offending, clean, suppressed.
+
+Every rule gets at least one snippet it must flag, one it must stay silent
+on, and one where a reasoned suppression moves the diagnostic to the
+suppressed list.  The seeded deadlock corpus under ``tests/lint_fixtures/``
+is asserted flagged with the exact rule id and cycle path.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.tools.lint import LintConfig, lint_paths, lint_source
+from repro.tools.lint.cli import main as lint_main
+from repro.tools.lint.config import DEFAULT_OPTIONS, project_config
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+
+
+def run(source: str, *rules: str, options: dict | None = None):
+    """Lint a dedented snippet with the named rules; returns the report."""
+
+    return lint_source(
+        textwrap.dedent(source),
+        rules=rules or None,
+        options=options if options is not None else DEFAULT_OPTIONS,
+    )
+
+
+def messages(report) -> list[str]:
+    return [d.message for d in report.diagnostics]
+
+
+# ---------------------------------------------------------------------------
+# mp-hygiene
+# ---------------------------------------------------------------------------
+
+
+class TestMpHygiene:
+    def test_flags_multiprocessing_import(self):
+        report = run("import multiprocessing\n", "mp-hygiene")
+        assert [d.rule for d in report.diagnostics] == ["mp-hygiene"]
+        assert "procpool" in report.diagnostics[0].message
+
+    def test_flags_submodule_from_import(self):
+        report = run(
+            "from multiprocessing import shared_memory\n", "mp-hygiene"
+        )
+        assert [d.rule for d in report.diagnostics] == ["mp-hygiene"]
+
+    def test_allowed_file_is_exempt(self):
+        report = lint_source(
+            "import multiprocessing\n",
+            rel="src/repro/core/procpool.py",
+            rules=("mp-hygiene",),
+            options=DEFAULT_OPTIONS,
+        )
+        assert report.diagnostics == []
+
+    def test_suppression_with_reason(self):
+        report = run(
+            "import multiprocessing  "
+            "# repro-lint: disable=mp-hygiene -- transport prototype\n",
+            "mp-hygiene",
+        )
+        assert report.diagnostics == []
+        assert [d.rule for d in report.suppressed] == ["mp-hygiene"]
+
+
+# ---------------------------------------------------------------------------
+# determinism
+# ---------------------------------------------------------------------------
+
+
+class TestDeterminism:
+    def test_flags_global_numpy_rng(self):
+        report = run(
+            """\
+            import numpy as np
+
+            def jitter(values):
+                np.random.shuffle(values)
+                return values
+            """,
+            "determinism",
+        )
+        assert [d.rule for d in report.diagnostics] == ["determinism"]
+        assert "numpy.random.shuffle" in messages(report)[0]
+
+    def test_flags_stdlib_rng_and_from_import(self):
+        report = run(
+            """\
+            import random
+            from random import shuffle
+
+            def pick(items):
+                shuffle(items)
+                return random.choice(items)
+            """,
+            "determinism",
+        )
+        assert len(report.diagnostics) == 2
+
+    def test_flags_time_time(self):
+        report = run(
+            """\
+            import time
+
+            def deadline():
+                return time.time() + 5.0
+            """,
+            "determinism",
+        )
+        assert [d.rule for d in report.diagnostics] == ["determinism"]
+        assert "monotonic" in messages(report)[0]
+
+    def test_seeded_generators_and_monotonic_are_clean(self):
+        report = run(
+            """\
+            import random
+            import time
+
+            import numpy as np
+
+            def sample(seed):
+                rng = np.random.default_rng(seed)
+                local = random.Random(seed)
+                start = time.monotonic()
+                return rng.random(), local.random(), start
+            """,
+            "determinism",
+        )
+        assert report.diagnostics == []
+
+    def test_suppressed_with_reason(self):
+        report = run(
+            """\
+            import time
+
+            def wall_clock_stamp():
+                return time.time()  # repro-lint: disable=determinism -- display only
+            """,
+            "determinism",
+        )
+        assert report.diagnostics == []
+        assert len(report.suppressed) == 1
+
+
+# ---------------------------------------------------------------------------
+# error-taxonomy
+# ---------------------------------------------------------------------------
+
+
+class TestErrorTaxonomy:
+    def test_flags_bare_except(self):
+        report = run(
+            """\
+            def swallow(fn):
+                try:
+                    fn()
+                except:
+                    pass
+            """,
+            "error-taxonomy",
+        )
+        assert [d.rule for d in report.diagnostics] == ["error-taxonomy"]
+        assert "bare 'except:'" in messages(report)[0]
+
+    def test_flags_broad_except_without_reraise(self):
+        report = run(
+            """\
+            def swallow(fn):
+                try:
+                    fn()
+                except Exception:
+                    return None
+            """,
+            "error-taxonomy",
+        )
+        assert len(report.diagnostics) == 1
+        assert "without re-raise" in messages(report)[0]
+
+    def test_broad_except_with_reraise_is_clean(self):
+        report = run(
+            """\
+            def wrap(fn, error_cls):
+                try:
+                    return fn()
+                except Exception as exc:
+                    raise error_cls(str(exc)) from exc
+            """,
+            "error-taxonomy",
+        )
+        assert report.diagnostics == []
+
+    def test_flags_forbidden_builtin_raise_and_cause(self):
+        report = run(
+            """\
+            def fail(detail):
+                raise RuntimeError(detail)
+
+            def chain(exc, detail):
+                raise exc from RuntimeError(detail)
+            """,
+            "error-taxonomy",
+        )
+        assert len(report.diagnostics) == 2
+        assert all("repro.errors" in m for m in messages(report))
+
+    def test_contract_builtins_are_allowed(self):
+        report = run(
+            """\
+            def check(count):
+                if count < 0:
+                    raise ValueError("count must be non-negative")
+                if not isinstance(count, int):
+                    raise TypeError("count must be an int")
+            """,
+            "error-taxonomy",
+        )
+        assert report.diagnostics == []
+
+    def test_wrapped_standalone_suppression_covers_next_code_line(self):
+        # The reason wraps onto a second comment line; the suppression must
+        # still reach the 'except' two lines below the marker.
+        report = run(
+            """\
+            def teardown(state):
+                try:
+                    state.close()
+                # repro-lint: disable=error-taxonomy -- best-effort teardown:
+                # nothing to report to on the way out
+                except Exception:
+                    pass
+            """,
+            "error-taxonomy",
+        )
+        assert report.diagnostics == []
+        assert len(report.suppressed) == 1
+
+
+# ---------------------------------------------------------------------------
+# docstring-coverage
+# ---------------------------------------------------------------------------
+
+
+class TestDocstringCoverage:
+    def test_flags_module_class_and_method(self):
+        report = run(
+            """\
+            class Widget:
+                def render(self):
+                    return None
+            """,
+            "docstring-coverage",
+        )
+        kinds = messages(report)
+        assert len(kinds) == 3  # module, class, method
+        assert any("module has no docstring" in m for m in kinds)
+        assert any("'Widget'" in m for m in kinds)
+        assert any("'Widget.render'" in m for m in kinds)
+
+    def test_private_and_dunder_and_local_defs_exempt(self):
+        report = run(
+            '''\
+            """Documented module."""
+
+            def _helper():
+                return 1
+
+            class Widget:
+                """Documented class."""
+
+                def __len__(self):
+                    return 0
+
+                def render(self):
+                    """Documented method with a local def."""
+
+                    def undocumented_local():
+                        return 2
+
+                    return undocumented_local()
+            ''',
+            "docstring-coverage",
+        )
+        assert report.diagnostics == []
+
+
+# ---------------------------------------------------------------------------
+# resource-hygiene
+# ---------------------------------------------------------------------------
+
+
+class TestResourceHygiene:
+    def test_flags_open_outside_with(self):
+        report = run(
+            """\
+            def slurp(path):
+                handle = open(path)
+                return handle.read()
+            """,
+            "resource-hygiene",
+        )
+        assert [d.rule for d in report.diagnostics] == ["resource-hygiene"]
+        assert "with" in messages(report)[0]
+
+    def test_with_open_and_finally_close_are_clean(self):
+        report = run(
+            """\
+            def slurp(path):
+                with open(path) as handle:
+                    return handle.read()
+
+            def slurp_finally(path):
+                handle = open(path)
+                try:
+                    return handle.read()
+                finally:
+                    handle.close()
+            """,
+            "resource-hygiene",
+        )
+        assert report.diagnostics == []
+
+    def test_flags_unowned_shared_memory(self):
+        report = run(
+            """\
+            from multiprocessing import shared_memory
+
+            def scratch(size):
+                shm = shared_memory.SharedMemory(create=True, size=size)
+                return bytes(shm.buf[:size])
+            """,
+            "resource-hygiene",
+        )
+        assert len(report.diagnostics) == 1
+        assert "SharedMemory" in messages(report)[0]
+
+    def test_owned_and_transferred_shared_memory_are_clean(self):
+        report = run(
+            """\
+            from multiprocessing import shared_memory
+
+            def make(size):
+                return shared_memory.SharedMemory(create=True, size=size)
+
+            class Arena:
+                def __init__(self, size):
+                    self._shm = shared_memory.SharedMemory(create=True, size=size)
+
+                def close(self):
+                    self._shm.close()
+                    self._shm.unlink()
+            """,
+            "resource-hygiene",
+        )
+        assert report.diagnostics == []
+
+
+# ---------------------------------------------------------------------------
+# njit-purity
+# ---------------------------------------------------------------------------
+
+
+class TestNjitPurity:
+    def test_flags_object_mode_constructs(self):
+        report = run(
+            """\
+            import pickle
+
+            import numpy as np
+            from numba import njit
+
+            @njit(cache=True)
+            def kernel(values):
+                table = {}
+                blob = pickle.dumps(values)
+                return f"{np.sum(values)}"
+            """,
+            "njit-purity",
+        )
+        assert len(report.diagnostics) == 3
+        joined = "\n".join(messages(report))
+        assert "dict/set literals" in joined
+        assert "'pickle'" in joined
+        assert "f-strings" in joined
+
+    def test_numpy_math_locals_and_kernels_are_clean(self):
+        report = run(
+            """\
+            import math
+
+            import numpy as np
+            from numba import njit
+
+            @njit
+            def inner(values):
+                return np.abs(values)
+
+            @njit
+            def kernel(values, count):
+                total = 0.0
+                for index in range(count):
+                    total += math.sqrt(abs(values[index]))
+                partial = inner(values)
+                return total + partial.sum()
+            """,
+            "njit-purity",
+        )
+        assert report.diagnostics == []
+
+    def test_plain_functions_are_not_scanned(self):
+        report = run(
+            """\
+            def helper():
+                table = {}
+                return f"{table}"
+            """,
+            "njit-purity",
+        )
+        assert report.diagnostics == []
+
+
+# ---------------------------------------------------------------------------
+# pickle-contract
+# ---------------------------------------------------------------------------
+
+
+class TestPickleContract:
+    def test_flags_codec_without_pair(self):
+        report = run(
+            """\
+            class LeakyCodec:
+                def __init__(self, bound):
+                    self._bound = bound
+                    self._table = list(range(16))
+
+                def compress(self, data):
+                    return bytes(data)
+
+                def decompress(self, blob):
+                    return blob
+            """,
+            "pickle-contract",
+        )
+        assert len(report.diagnostics) == 1
+        assert "__getstate__ and __setstate__" in messages(report)[0]
+
+    def test_explicit_pair_and_frozen_dataclass_are_clean(self):
+        report = run(
+            """\
+            from dataclasses import dataclass
+
+            class GoodCodec:
+                def __init__(self, bound):
+                    self._bound = bound
+
+                def compress(self, data):
+                    return bytes(data)
+
+                def decompress(self, blob):
+                    return blob
+
+                def __getstate__(self):
+                    return {"bound": self._bound}
+
+                def __setstate__(self, state):
+                    self.__init__(**state)
+
+            @dataclass(frozen=True)
+            class FrozenCodec:
+                bound: float
+
+                def compress(self, data):
+                    return bytes(data)
+
+                def decompress(self, blob):
+                    return blob
+            """,
+            "pickle-contract",
+        )
+        assert report.diagnostics == []
+
+    def test_pair_inherited_through_project_mro_is_clean(self):
+        report = run(
+            """\
+            class PickleBase:
+                def __getstate__(self):
+                    return {"bound": self._bound}
+
+                def __setstate__(self, state):
+                    self.__init__(**state)
+
+            class Derived(PickleBase):
+                def __init__(self, bound):
+                    self._bound = bound
+
+                def compress(self, data):
+                    return bytes(data)
+
+                def decompress(self, blob):
+                    return blob
+            """,
+            "pickle-contract",
+        )
+        assert report.diagnostics == []
+
+    def test_abstract_interfaces_are_exempt(self):
+        report = run(
+            """\
+            from abc import ABC, abstractmethod
+
+            class Compressor(ABC):
+                @abstractmethod
+                def compress(self, data):
+                    ...
+
+                @abstractmethod
+                def decompress(self, blob):
+                    ...
+            """,
+            "pickle-contract",
+        )
+        assert report.diagnostics == []
+
+    def test_flags_wrong_getstate_and_setstate_shapes(self):
+        report = run(
+            """\
+            class ShapeCodec:
+                def __init__(self, bound):
+                    self._bound = bound
+
+                def compress(self, data):
+                    return bytes(data)
+
+                def decompress(self, blob):
+                    return blob
+
+                def __getstate__(self):
+                    state = {"bound": self._bound}
+                    return state
+
+                def __setstate__(self, state):
+                    self._bound = state["bound"]
+            """,
+            "pickle-contract",
+        )
+        joined = "\n".join(messages(report))
+        assert len(report.diagnostics) == 2
+        assert "single 'return {...}'" in joined
+        assert "self.__init__(**state)" in joined
+
+    def test_record_class_must_be_dataclass_or_carry_pair(self):
+        options = {"pickle-contract": {"record_classes": ("JobSpec",)}}
+        offending = run(
+            """\
+            class JobSpec:
+                def __init__(self, name):
+                    self.name = name
+            """,
+            "pickle-contract",
+            options=options,
+        )
+        assert len(offending.diagnostics) == 1
+        assert "record class 'JobSpec'" in messages(offending)[0]
+
+        clean = run(
+            """\
+            from dataclasses import dataclass
+
+            @dataclass
+            class JobSpec:
+                name: str
+            """,
+            "pickle-contract",
+            options=options,
+        )
+        assert clean.diagnostics == []
+
+
+# ---------------------------------------------------------------------------
+# lock-order
+# ---------------------------------------------------------------------------
+
+
+class TestLockOrder:
+    def test_flags_self_deadlock_on_plain_lock(self):
+        report = run(
+            """\
+            import threading
+
+            class Bad:
+                def __init__(self):
+                    self._m = threading.Lock()
+
+                def work(self):
+                    with self._m:
+                        with self._m:
+                            pass
+            """,
+            "lock-order",
+        )
+        assert len(report.diagnostics) == 1
+        assert "guaranteed self-deadlock" in messages(report)[0]
+
+    def test_rlock_reentry_is_clean(self):
+        report = run(
+            """\
+            import threading
+
+            class Fine:
+                def __init__(self):
+                    self._m = threading.RLock()
+
+                def outer(self):
+                    with self._m:
+                        self.inner()
+
+                def inner(self):
+                    with self._m:
+                        pass
+            """,
+            "lock-order",
+        )
+        assert report.diagnostics == []
+
+    def test_dict_get_and_str_join_under_lock_are_clean(self):
+        report = run(
+            """\
+            import threading
+
+            class Cache:
+                def __init__(self):
+                    self._mutex = threading.Lock()
+                    self._entries = {}
+
+                def lookup(self, key):
+                    with self._mutex:
+                        return self._entries.get(key)
+
+                def describe(self, parts):
+                    with self._mutex:
+                        return ", ".join(parts)
+            """,
+            "lock-order",
+        )
+        assert report.diagnostics == []
+
+    def test_condition_wait_under_own_lock_is_clean(self):
+        report = run(
+            """\
+            import threading
+
+            class Pool:
+                def __init__(self):
+                    self._available = threading.Condition()
+                    self._free = []
+
+                def lease(self):
+                    with self._available:
+                        while not self._free:
+                            self._available.wait()
+                        return self._free.pop()
+            """,
+            "lock-order",
+        )
+        assert report.diagnostics == []
+
+    def test_queue_get_under_lock_is_flagged(self):
+        report = run(
+            """\
+            import threading
+
+            class Drain:
+                def __init__(self, queue):
+                    self._mutex = threading.Lock()
+                    self._queue = queue
+
+                def take(self):
+                    with self._mutex:
+                        return self._queue.get()
+            """,
+            "lock-order",
+        )
+        assert len(report.diagnostics) == 1
+        assert "blocking call get()" in messages(report)[0]
+
+
+# ---------------------------------------------------------------------------
+# The seeded deadlock regression corpus
+# ---------------------------------------------------------------------------
+
+
+class TestDeadlockFixtures:
+    def lint_fixture(self, name: str):
+        path = FIXTURES / name
+        return lint_source(
+            path.read_text(encoding="utf-8"),
+            rel=f"tests/lint_fixtures/{name}",
+            rules=("lock-order",),
+            options=DEFAULT_OPTIONS,
+        )
+
+    def test_cycle_fixture_flagged_with_cycle_path(self):
+        report = self.lint_fixture("deadlock_cycle.py")
+        assert [d.rule for d in report.diagnostics] == ["lock-order"]
+        message = report.diagnostics[0].message
+        assert message.startswith(
+            "lock-order cycle deadlock_cycle.LedgerPair._audit -> "
+            "deadlock_cycle.LedgerPair._ledger -> "
+            "deadlock_cycle.LedgerPair._audit"
+        )
+        # Both acquisition sites are reported, including the edge that only
+        # exists through the interprocedural call closure.
+        assert "via call to _stamp_audit()" in message
+        assert "acquired here" in message
+
+    def test_blocking_fixture_flags_both_sites(self):
+        report = self.lint_fixture("blocking_under_lock.py")
+        assert [d.rule for d in report.diagnostics] == ["lock-order", "lock-order"]
+        joined = "\n".join(messages(report))
+        assert "blocking call recv()" in joined
+        assert "blocking call sleep()" in joined
+        assert "blocking_under_lock.ReplyPump._mutex" in joined
+
+    def test_fixture_corpus_is_excluded_from_project_lint(self):
+        config = project_config()
+        assert config.excluded("tests/lint_fixtures/deadlock_cycle.py")
+        report = lint_paths([FIXTURES], config)
+        assert report.files_checked == 0
+
+
+# ---------------------------------------------------------------------------
+# Engine mechanics: suppressions, parse errors, report shape
+# ---------------------------------------------------------------------------
+
+
+class TestEngine:
+    def test_reasonless_suppression_is_flagged_and_does_not_suppress(self):
+        report = run(
+            "import multiprocessing  # repro-lint: disable=mp-hygiene\n",
+            "mp-hygiene",
+        )
+        rules = sorted(d.rule for d in report.diagnostics)
+        assert rules == ["mp-hygiene", "suppression-format"]
+        assert report.suppressed == []
+        assert "without a reason" in messages(report)[0] + messages(report)[1]
+
+    def test_unknown_rule_suppression_is_flagged(self):
+        report = run(
+            "import multiprocessing  "
+            "# repro-lint: disable=no-such-rule -- because\n",
+            "mp-hygiene",
+        )
+        rules = sorted(d.rule for d in report.diagnostics)
+        assert rules == ["mp-hygiene", "suppression-format"]
+        assert any("unknown rule" in m for m in messages(report))
+
+    def test_multi_rule_suppression(self):
+        report = run(
+            """\
+            import time
+
+            def stamp():
+                return time.time()  # repro-lint: disable=determinism,docstring-coverage -- display
+            """,
+            "determinism",
+        )
+        assert report.diagnostics == []
+        assert len(report.suppressed) == 1
+
+    def test_marker_inside_string_literal_is_ignored(self):
+        report = run(
+            """\
+            EXAMPLE = "# repro-lint: disable=mp-hygiene"
+            import multiprocessing
+            """,
+            "mp-hygiene",
+        )
+        assert [d.rule for d in report.diagnostics] == ["mp-hygiene"]
+
+    def test_parse_error_diagnostic(self):
+        report = lint_source("def broken(:\n")
+        assert [d.rule for d in report.diagnostics] == ["parse-error"]
+        assert report.exit_code == 1
+
+    def test_unknown_rule_selection_raises(self):
+        with pytest.raises(ValueError, match="no-such-rule"):
+            lint_source("x = 1\n", rules=("no-such-rule",))
+
+    def test_report_shape_and_render(self):
+        report = run("import multiprocessing\n", "mp-hygiene")
+        diagnostic = report.diagnostics[0]
+        assert diagnostic.render() == (
+            f"snippet.py:1:1: mp-hygiene: {diagnostic.message}"
+        )
+        payload = report.as_dict()
+        assert payload["schema"] == 1
+        assert payload["summary"]["per_rule"]["mp-hygiene"] == 1
+        assert payload["summary"]["diagnostics"] == 1
+        json.dumps(payload)  # JSON-serialisable end to end
+
+    def test_exit_codes(self):
+        assert run("x = 1\n", "mp-hygiene").exit_code == 0
+        assert run("import multiprocessing\n", "mp-hygiene").exit_code == 1
+
+
+# ---------------------------------------------------------------------------
+# Config and CLI
+# ---------------------------------------------------------------------------
+
+
+class TestConfigAndCli:
+    def test_per_path_rule_scoping(self):
+        config = project_config()
+        src_rules = config.enabled_for("src/repro/core/cache.py")
+        test_rules = config.enabled_for("tests/test_cache.py")
+        assert "docstring-coverage" in src_rules
+        assert "docstring-coverage" not in test_rules
+        assert "lock-order" in src_rules and "lock-order" in test_rules
+
+    def test_selected_rules_filtering(self):
+        registry = frozenset({"a", "b", "c"})
+        config = LintConfig(root=Path("."), select=frozenset({"a", "b"}))
+        assert config.selected_rules(registry) == {"a", "b"}
+        config = LintConfig(root=Path("."), ignore=frozenset({"c"}))
+        assert config.selected_rules(registry) == {"a", "b"}
+        with pytest.raises(ValueError, match="unknown rule"):
+            LintConfig(root=Path("."), select=frozenset({"zzz"})).selected_rules(
+                registry
+            )
+
+    def test_cli_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in (
+            "pickle-contract",
+            "njit-purity",
+            "error-taxonomy",
+            "lock-order",
+            "determinism",
+            "mp-hygiene",
+            "docstring-coverage",
+            "resource-hygiene",
+            "suppression-format",
+        ):
+            assert rule_id in out
+
+    def test_cli_json_on_clean_file(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text('"""Documented."""\n\nX = 1\n')
+        assert lint_main(["--json", str(target)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["diagnostics"] == 0
+
+    def test_cli_exit_codes_for_usage_errors(self, tmp_path, capsys):
+        assert lint_main([str(tmp_path / "missing.py")]) == 2
+        assert lint_main(["--select", "no-such-rule"]) == 2
+        capsys.readouterr()
