@@ -21,12 +21,18 @@ distills a ``repro.tools.lint --json`` report into a one-line record
 checked) and appends it.  Lint records are history only: the CI lint step
 itself is the pass/fail gate, and codec baseline matching skips them.
 
+Likewise ``--serve PATH`` ingests the summary JSON written by
+``tests/run_serve_soak.py`` into a ``"kind": "serve"`` record (job count,
+fairness/starvation verdicts, recoveries, cache hit rate, soak duration).
+The soak script's exit code is the gate; the trend record is the history.
+
 Usage::
 
     python benchmarks/trend.py                  # append + check
     python benchmarks/trend.py --check-only     # compare without appending
     python benchmarks/trend.py --threshold 0.5  # looser gate
     python benchmarks/trend.py --lint lint-report.json  # record lint counts
+    python benchmarks/trend.py --serve serve-soak.json  # record soak summary
 """
 
 from __future__ import annotations
@@ -125,6 +131,35 @@ def lint_record(report: dict, commit: str, timestamp: str) -> dict:
     }
 
 
+def serve_record(summary: dict, commit: str, timestamp: str) -> dict:
+    """One flat trend record from a ``tests/run_serve_soak.py`` summary.
+
+    Tracks the service soak over time — how many jobs ran, whether the
+    fairness and bit-identity contracts held, how many injected worker
+    kills were recovered and how warm the result cache ran.  The soak
+    script's own exit code is the pass/fail gate; this is the history.
+    """
+
+    cache = summary.get("cache") or {}
+    hits = cache.get("hits", 0)
+    lookups = hits + cache.get("misses", 0)
+    return {
+        "schema": 1,
+        "kind": "serve",
+        "commit": commit,
+        "timestamp": timestamp,
+        "jobs": summary.get("jobs", 0),
+        "tenants": summary.get("tenants"),
+        "fairness_ok": bool(summary.get("fairness_ok", False)),
+        "starvation_ok": bool(summary.get("starvation_ok", False)),
+        "recoveries": summary.get("recoveries", 0),
+        "bit_identity_checked": summary.get("bit_identity_checked", 0),
+        "bit_identity_mismatches": summary.get("bit_identity_mismatches", 0),
+        "cache_hit_rate": (hits / lookups) if lookups else None,
+        "duration_seconds": summary.get("duration_seconds"),
+    }
+
+
 def environment_matches(current: dict, candidate: dict) -> bool:
     """Whether *candidate* ran under comparable conditions to *current*.
 
@@ -208,7 +243,39 @@ def main(argv: list[str] | None = None) -> int:
         help="append a lint record distilled from a repro.tools.lint --json "
         "report instead of processing benchmark results",
     )
+    parser.add_argument(
+        "--serve",
+        type=Path,
+        default=None,
+        metavar="SUMMARY",
+        help="append a serve-soak record distilled from a "
+        "tests/run_serve_soak.py summary JSON instead of processing "
+        "benchmark results",
+    )
     args = parser.parse_args(argv)
+
+    if args.serve is not None:
+        # Recorder, not a gate: the soak script fails the build on any
+        # broken contract; this writes the data point into the history.
+        if not args.serve.exists():
+            print(f"trend: no serve-soak summary at {args.serve}; run "
+                  "python tests/run_serve_soak.py first", file=sys.stderr)
+            return 2
+        record = serve_record(
+            json.loads(args.serve.read_text()),
+            commit=current_commit(),
+            timestamp=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        )
+        if not args.check_only:
+            append_record(args.trend, record)
+        rate = record["cache_hit_rate"]
+        print(
+            f"trend: serve soak @ {record['commit']}: {record['jobs']} jobs, "
+            f"fairness={'ok' if record['fairness_ok'] else 'BROKEN'}, "
+            f"{record['recoveries']} recovery(ies), "
+            f"cache hit rate {'n/a' if rate is None else f'{rate:.0%}'}"
+        )
+        return 0
 
     if args.lint is not None:
         # Recorder, not a gate: the CI lint step fails the build on

@@ -59,6 +59,7 @@ ENFORCED_PACKAGES = (
     "repro.distributed",
     "repro.errors",
     "repro.resilience",
+    "repro.serve",
     "repro.tools.lint",
 )
 
@@ -100,6 +101,10 @@ API_SECTIONS = [
         "repro.backends.result", "repro.backends.observables",
         "repro.backends.compressed", "repro.backends.dense",
         "repro.backends.parallel",
+    ]),
+    ("serve", "repro.serve", [
+        "repro.serve", "repro.serve.service", "repro.serve.queue",
+        "repro.serve.cache", "repro.serve.events",
     ]),
     ("statevector", "repro.statevector", [
         "repro.statevector", "repro.statevector.dense",

@@ -29,7 +29,15 @@ __all__ = ["CompressedBackend"]
 
 @dataclass
 class _CompressedSession:
-    """Per-batch state: the config and the warm simulator per width.
+    """Per-batch state: the config and a warm-simulator lease pool per width.
+
+    Simulators are *leased*: :meth:`acquire` hands out an exclusive warm
+    simulator (reset if reused, built if the width is new) and
+    :meth:`release` returns it to the idle pool.  Sequential batch execution
+    only ever has one lease outstanding, so it degenerates to the historical
+    one-warm-simulator-per-width behaviour; the :mod:`repro.serve` job
+    executor holds one lease per in-flight job, so two interleaved jobs of
+    the same width never share mutable state.
 
     ``comm`` lets benches with a modelled interconnect (fig16) inject their
     own :class:`~repro.distributed.comm.SimulatedCommunicator` through the
@@ -40,21 +48,97 @@ class _CompressedSession:
 
     config: SimulatorConfig
     comm: SimulatedCommunicator | None = None
-    simulators: dict[int, CompressedSimulator] = field(default_factory=dict)
+    _idle: dict[int, list[CompressedSimulator]] = field(default_factory=dict)
+    _leased: list[CompressedSimulator] = field(default_factory=list)
+
+    def acquire(self, num_qubits: int) -> CompressedSimulator:
+        """Lease an exclusive warm simulator for *num_qubits* qubits.
+
+        A reused simulator is reset first, so the caller always starts from
+        ``|0...0>`` with fresh bookkeeping — indistinguishable from a newly
+        built one.  Pair every acquire with :meth:`release`.
+        """
+
+        stack = self._idle.get(num_qubits)
+        if stack:
+            simulator = stack.pop()
+            simulator.reset()
+        else:
+            simulator = CompressedSimulator(num_qubits, self.config, comm=self.comm)
+        self._leased.append(simulator)
+        return simulator
+
+    def release(self, simulator: CompressedSimulator) -> None:
+        """Return a leased simulator to the idle pool (workers stay warm)."""
+
+        if simulator in self._leased:
+            self._leased.remove(simulator)
+        self._idle.setdefault(simulator.num_qubits, []).append(simulator)
 
     def simulator_for(self, num_qubits: int) -> CompressedSimulator:
-        simulator = self.simulators.get(num_qubits)
-        if simulator is None:
-            simulator = CompressedSimulator(num_qubits, self.config, comm=self.comm)
-            self.simulators[num_qubits] = simulator
-        else:
-            simulator.reset()
+        """The warm simulator for *num_qubits*, for strictly sequential use.
+
+        Equivalent to an acquire immediately followed by a release: safe
+        when at most one circuit executes at a time (the batch loop of
+        :meth:`Backend.run`), because the simulator is only handed out again
+        after the current circuit's results have been read off.
+        """
+
+        simulator = self.acquire(num_qubits)
+        self.release(simulator)
         return simulator
 
     def close(self) -> None:
-        for simulator in self.simulators.values():
+        """Close every simulator — idle and leased — and empty the pools."""
+
+        for stack in self._idle.values():
+            for simulator in stack:
+                simulator.close()
+        for simulator in self._leased:
             simulator.close()
-        self.simulators.clear()
+        self._idle.clear()
+        self._leased.clear()
+
+
+def _package_result(
+    backend_name: str,
+    simulator: CompressedSimulator,
+    session: _CompressedSession,
+    circuit: QuantumCircuit,
+    *,
+    shots: int,
+    observables: Sequence[PauliObservable],
+    rng: np.random.Generator,
+    return_statevector: bool,
+) -> Result:
+    """Read samples/observables off an executed simulator into a `Result`.
+
+    Shared by the sequential batch path (:meth:`CompressedBackend._execute`)
+    and the gate-stepped :mod:`repro.serve` executor, so both produce
+    field-identical results for the same executed state: same rng
+    consumption order (counts first, then rng-free observables and
+    statevector), same report and metadata shape.
+    """
+
+    report = simulator.report()
+    counts = simulator.sample_counts(shots, rng) if shots else None
+    expectations = Backend._evaluate_observables(observables, simulator)
+    statevector = simulator.statevector() if return_statevector else None
+    return Result(
+        backend=backend_name,
+        circuit_name=circuit.name,
+        num_qubits=circuit.num_qubits,
+        shots=shots,
+        counts=counts,
+        expectations=expectations,
+        statevector=statevector,
+        report=report.as_dict(),
+        metadata={
+            "compression_ratio": simulator.state.compression_ratio(),
+            "compressed_bytes": simulator.state.compressed_bytes(),
+            "num_ranks": session.config.num_ranks,
+        },
+    )
 
 
 @register_backend("compressed")
@@ -84,22 +168,14 @@ class CompressedBackend(Backend):
         return_statevector: bool,
     ) -> Result:
         simulator = session.simulator_for(circuit.num_qubits)
-        report = simulator.apply_circuit(circuit)
-        counts = simulator.sample_counts(shots, rng) if shots else None
-        expectations = self._evaluate_observables(observables, simulator)
-        statevector = simulator.statevector() if return_statevector else None
-        return Result(
-            backend=self.name,
-            circuit_name=circuit.name,
-            num_qubits=circuit.num_qubits,
+        simulator.apply_circuit(circuit)
+        return _package_result(
+            self.name,
+            simulator,
+            session,
+            circuit,
             shots=shots,
-            counts=counts,
-            expectations=expectations,
-            statevector=statevector,
-            report=report.as_dict(),
-            metadata={
-                "compression_ratio": simulator.state.compression_ratio(),
-                "compressed_bytes": simulator.state.compressed_bytes(),
-                "num_ranks": session.config.num_ranks,
-            },
+            observables=observables,
+            rng=rng,
+            return_statevector=return_statevector,
         )

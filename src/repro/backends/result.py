@@ -19,6 +19,38 @@ import numpy as np
 
 __all__ = ["Result", "ResultSet"]
 
+#: Metadata keys excluded from the canonical form: measured wall-clock time
+#: varies run to run, and the ``serve`` annotations carry per-request
+#: identifiers (job id, tenant, cache-hit flag) stamped by the service layer.
+VOLATILE_METADATA_KEYS = ("wall_seconds", "serve")
+
+
+def _scrub_measured_time(value):
+    """Deep copy of *value* with every measured-time field removed.
+
+    Drops dict keys that name wall-clock measurements — keys ending in
+    ``_seconds`` or ``_fraction``, plus ``seconds_per_gate`` — at any
+    nesting depth, so two runs of the same deterministic computation produce
+    identical scrubbed reports even though their timings differ.
+    """
+
+    if isinstance(value, dict):
+        return {
+            key: _scrub_measured_time(entry)
+            for key, entry in value.items()
+            if not (
+                isinstance(key, str)
+                and (
+                    key.endswith("_seconds")
+                    or key.endswith("_fraction")
+                    or key == "seconds_per_gate"
+                )
+            )
+        }
+    if isinstance(value, (list, tuple)):
+        return [_scrub_measured_time(entry) for entry in value]
+    return value
+
 
 @dataclass
 class Result:
@@ -109,6 +141,43 @@ class Result:
         """Serialise to a JSON string (``from_json`` round-trips it)."""
 
         return json.dumps(self.as_dict(), **dumps_kwargs)
+
+    def canonical_dict(self) -> dict:
+        """:meth:`as_dict` minus every run-to-run volatile field.
+
+        Two runs of the same (circuit, config, seed, shots, observables)
+        produce *equal* canonical dicts even though their measured timings
+        differ: wall-clock metadata (:data:`VOLATILE_METADATA_KEYS`) and
+        every measured-time report field (``*_seconds``, ``*_fraction``,
+        ``seconds_per_gate``) are dropped at any depth.  This is the
+        equality surface of the :mod:`repro.serve` result cache's
+        bit-identity contract.
+        """
+
+        data = self.as_dict()
+        data["metadata"] = {
+            key: value
+            for key, value in data["metadata"].items()
+            if key not in VOLATILE_METADATA_KEYS
+        }
+        data["report"] = (
+            _scrub_measured_time(data["report"])
+            if data["report"] is not None
+            else None
+        )
+        return data
+
+    def canonical_json(self) -> str:
+        """Byte-stable JSON of :meth:`canonical_dict`.
+
+        Keys are sorted and separators pinned, so the string is identical
+        byte for byte across runs and Python versions for deterministic
+        results — the form the serve-layer cache tests compare.
+        """
+
+        return json.dumps(
+            self.canonical_dict(), sort_keys=True, separators=(",", ":")
+        )
 
     @classmethod
     def from_json(cls, payload: str) -> "Result":

@@ -33,6 +33,7 @@ import os
 import pickle
 import time
 import traceback
+import weakref
 import zlib
 from multiprocessing import connection as mp_connection
 from multiprocessing import get_context, shared_memory
@@ -56,6 +57,7 @@ __all__ = [
     "WorkerCrashedError",
     "BlockCorruptionError",
     "effective_cpu_count",
+    "live_pool_count",
     "SLOTS_PER_WORKER",
 ]
 
@@ -66,6 +68,26 @@ SLOTS_PER_WORKER = 2
 
 #: Shutdown sentinel sent down a worker's control pipe.
 _SHUTDOWN = None
+
+#: Every ProcessPool constructed but not yet closed.  Weak references: a
+#: pool that is garbage-collected without close() (a bug, but one the
+#: registry must not mask) simply drops out.  Long-lived owners that share
+#: pools across many jobs — warm backend sessions under
+#: :class:`repro.serve.SimulationService` — assert against
+#: :func:`live_pool_count` that drain-and-close leaked nothing.
+_LIVE_POOLS: "weakref.WeakSet[ProcessPool]" = weakref.WeakSet()
+
+
+def live_pool_count() -> int:
+    """Number of :class:`ProcessPool` instances currently open.
+
+    Counts pools constructed in this process whose :meth:`ProcessPool.close`
+    has not run yet.  Used by service-lifecycle tests as the zero-leak
+    oracle: the count after a drain-and-close must equal the count before
+    the service started.
+    """
+
+    return len(_LIVE_POOLS)
 
 
 def effective_cpu_count() -> int:
@@ -407,6 +429,7 @@ class ProcessPool:
             chaos_allowed,
         )
         self._workers: list[_WorkerHandle] = []
+        _LIVE_POOLS.add(self)
         try:
             for worker_index in range(num_workers):
                 self._workers.append(self._spawn_worker(worker_index))
@@ -695,6 +718,7 @@ class ProcessPool:
         unlinked.
         """
 
+        _LIVE_POOLS.discard(self)
         workers, self._workers = self._workers, []
         for worker in workers:
             try:

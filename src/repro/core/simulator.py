@@ -157,6 +157,10 @@ class CompressedSimulator:
         self._resilience_ckpt: Path | None = None
         self._ckpt_tempdir: str | None = None
         self._ranked_generation = 0
+        # Lazily computed config every fork of this simulator shares; see
+        # fork() — rebuilding it per fork re-ran SimulatorConfig validation
+        # once per X/Y observable per circuit in a batch.
+        self._fork_config: SimulatorConfig | None = None
 
         if ranked_mode:
             self._build_ranked(initial_basis_state)
@@ -377,18 +381,24 @@ class CompressedSimulator:
         terms via basis-change gates without disturbing the live state.
         """
 
-        config = self._config
-        if (
-            config.num_workers != 1
-            or config.executor != "thread"
-            or config.comm != "simulated"
-        ):
-            # Forks exist for short side computations: always local,
-            # single-worker, simulated-communication — even when the parent
-            # runs on the process or ranked tier.
-            config = replace(
-                config, num_workers=1, executor="thread", comm="simulated"
-            )
+        config = self._fork_config
+        if config is None:
+            config = self._config
+            if (
+                config.num_workers != 1
+                or config.executor != "thread"
+                or config.comm != "simulated"
+            ):
+                # Forks exist for short side computations: always local,
+                # single-worker, simulated-communication — even when the
+                # parent runs on the process or ranked tier.  Derived once
+                # per simulator: dataclasses.replace re-runs the full config
+                # validation, which must not execute per fork (batched runs
+                # fork once per X/Y observable per circuit).
+                config = replace(
+                    config, num_workers=1, executor="thread", comm="simulated"
+                )
+            self._fork_config = config
         clone = CompressedSimulator(self._num_qubits, config)
         if self._controller.current_bound:
             clone._controller.force_level(self._controller.current_bound)
@@ -412,6 +422,22 @@ class CompressedSimulator:
         fused gates (``report.fusion_gates_in/out`` record the reduction).
         """
 
+        for gate in self.prepare_gates(circuit):
+            self.apply_gate(gate)
+        return self.report()
+
+    def prepare_gates(self, circuit: QuantumCircuit | Iterable[Gate]) -> list[Gate]:
+        """The exact gate sequence :meth:`apply_circuit` would execute.
+
+        Runs the configured fusion pass (recording its statistics in the
+        report) and returns the resulting gates as a list.  Stepping the
+        returned list through :meth:`apply_gate` one gate at a time is
+        bit-identical to a single :meth:`apply_circuit` call — this is the
+        entry point for drivers that need gate-granular control between
+        gates (progress events, cancellation checks, suspend points), such
+        as the :mod:`repro.serve` job executor.
+        """
+
         gates: Iterable[Gate] = circuit
         if self._config.fusion_enabled:
             gates, stats = fuse_gate_sequence(
@@ -419,9 +445,7 @@ class CompressedSimulator:
             )
             self._report.fusion_gates_in += stats.gates_in
             self._report.fusion_gates_out += stats.gates_out
-        for gate in gates:
-            self.apply_gate(gate)
-        return self.report()
+        return list(gates)
 
     def run(self, circuit: QuantumCircuit | Iterable[Gate]) -> SimulationReport:
         """Deprecated alias of :meth:`apply_circuit`.

@@ -29,6 +29,10 @@ __all__ = [
     "BlockCorruptionError",
     "CheckpointError",
     "PoolProtocolError",
+    "ServiceError",
+    "ServiceOverloadedError",
+    "ServiceClosedError",
+    "JobCancelledError",
 ]
 
 
@@ -158,6 +162,77 @@ class CheckpointError(ReproError):
     """
 
     context_fields = ("path",)
+
+
+class ServiceError(ReproError):
+    """Base class of failures raised by the :mod:`repro.serve` service layer.
+
+    Every service-side failure identifies the job and tenant it concerns, so
+    multi-tenant clients can route a rejection or a cancelled future without
+    parsing the message.
+
+    Context
+    -------
+    job_id:
+        Identifier of the job the failure concerns (``None`` for failures
+        raised before a job was admitted, e.g. backpressure rejections).
+    tenant:
+        The tenant whose request failed.
+    """
+
+    context_fields = ("job_id", "tenant")
+
+
+class ServiceOverloadedError(ServiceError):
+    """A submission was rejected by backpressure: a queue bound is full.
+
+    This is the service's explicit load-shedding signal — the caller should
+    back off and retry after in-flight jobs complete, not treat it as a bug.
+
+    Context
+    -------
+    job_id / tenant:
+        Inherited from :class:`ServiceError`.
+    pending:
+        Jobs currently pending in the scope that overflowed.
+    limit:
+        The configured bound that was hit.
+    scope:
+        Which bound overflowed: ``"tenant"`` (per-tenant queue) or
+        ``"total"`` (service-wide).
+    """
+
+    context_fields = ("job_id", "tenant", "pending", "limit", "scope")
+
+
+class ServiceClosedError(ServiceError):
+    """The service is draining or closed and accepts no new work.
+
+    Context
+    -------
+    job_id / tenant:
+        Inherited from :class:`ServiceError`.
+    state:
+        The lifecycle state that refused the operation ("new", "draining",
+        "closing" or "closed").
+    """
+
+    context_fields = ("job_id", "tenant", "state")
+
+
+class JobCancelledError(ServiceError):
+    """A job was cancelled before completing; its future resolves to this.
+
+    Context
+    -------
+    job_id / tenant:
+        Inherited from :class:`ServiceError`.
+    gates_done:
+        Gates the job had executed when the cancellation took effect (0 for
+        jobs cancelled while still queued).
+    """
+
+    context_fields = ("job_id", "tenant", "gates_done")
 
 
 class PoolProtocolError(ReproError):

@@ -30,7 +30,12 @@ import os
 import random
 from dataclasses import dataclass
 
-__all__ = ["FaultPolicy", "resolve_fault_policy"]
+__all__ = [
+    "FaultPolicy",
+    "resolve_fault_policy",
+    "suspend_to_checkpoint",
+    "resume_from_checkpoint",
+]
 
 #: Executor tiers a degrade ladder may name, in decreasing parallelism.
 DEGRADE_TIERS = ("thread", "sequential")
@@ -199,3 +204,9 @@ def resolve_fault_policy(policy: "FaultPolicy | None") -> FaultPolicy:
     if faults.get_active_plan() is not None:
         return FaultPolicy(max_retries=2, degrade_to=DEGRADE_TIERS)
     return FaultPolicy()
+
+
+# Imported last: suspend.py reaches (lazily) into repro.core.checkpoint,
+# which imports repro.core.simulator, which imports this package — every
+# name above must already be bound when that cycle re-enters here.
+from .suspend import resume_from_checkpoint, suspend_to_checkpoint  # noqa: E402

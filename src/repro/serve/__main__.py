@@ -1,0 +1,328 @@
+"""``python -m repro.serve`` — local demo, JSON-lines server and client.
+
+Three subcommands:
+
+* ``demo`` (the default) runs a self-contained in-process workload: three
+  weighted tenants submit a mix of circuit families, one job is suspended
+  to a checkpoint and resumed mid-demo, one request repeats to show a cache
+  hit, and the per-job event histories plus service statistics are printed.
+* ``serve --port N`` exposes one :class:`~repro.serve.service.SimulationService`
+  over a line-delimited JSON TCP protocol: each request line is
+  ``{"op": "submit", "family": "ghz", "qubits": 4, ...}`` or
+  ``{"op": "stats"}``; a submit streams the job's lifecycle events back as
+  JSON lines and finishes with a ``{"op": "result", ...}`` summary line.
+* ``client --port N`` submits one such request and pretty-prints the reply
+  stream — a smoke test for the server, not a product.
+
+The protocol ships named circuit *families* rather than gate lists — the
+server builds the circuit locally, so the demo protocol stays a few lines
+and the cache keys stay canonical.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+
+from ..applications import (
+    grover_circuit,
+    hadamard_layers_circuit,
+    qft_benchmark_circuit,
+)
+from ..circuits import QuantumCircuit
+from .service import ServiceConfig, SimulationService
+
+__all__ = ["main", "build_circuit", "CIRCUIT_FAMILIES"]
+
+
+def _ghz_circuit(num_qubits: int) -> QuantumCircuit:
+    """The GHZ ladder: H on qubit 0, then a CX chain down the register."""
+
+    circuit = QuantumCircuit(num_qubits, name=f"ghz_{num_qubits}")
+    circuit.h(0)
+    for qubit in range(num_qubits - 1):
+        circuit.cx(qubit, qubit + 1)
+    return circuit
+
+
+def _qft_circuit(num_qubits: int) -> QuantumCircuit:
+    """QFT benchmark with a *pinned* input-preparation seed.
+
+    ``qft_benchmark_circuit`` randomises the prepared basis state when no
+    seed is given; the protocol pins it so repeated requests build the
+    bit-identical circuit and therefore share a cache key.
+    """
+
+    return qft_benchmark_circuit(num_qubits, seed=1234)
+
+
+def _layers_circuit(num_qubits: int) -> QuantumCircuit:
+    """Three alternating Hadamard layers — the incompressible stress case."""
+
+    return hadamard_layers_circuit(num_qubits, layers=3)
+
+
+def _grover_circuit(num_qubits: int) -> QuantumCircuit:
+    """Grover's search marking basis state 1."""
+
+    return grover_circuit(num_qubits, marked=1)
+
+
+#: Circuit families the CLI protocol can request by name.  Every builder is
+#: deterministic in ``num_qubits`` alone, so a repeated request is a cache hit.
+CIRCUIT_FAMILIES = {
+    "ghz": _ghz_circuit,
+    "qft": _qft_circuit,
+    "layers": _layers_circuit,
+    "grover": _grover_circuit,
+}
+
+
+def build_circuit(family: str, num_qubits: int) -> QuantumCircuit:
+    """Build the named circuit *family* at *num_qubits* qubits."""
+
+    try:
+        builder = CIRCUIT_FAMILIES[family]
+    except KeyError:
+        raise ValueError(
+            f"unknown circuit family {family!r}; "
+            f"choose from {sorted(CIRCUIT_FAMILIES)}"
+        ) from None
+    return builder(num_qubits)
+
+
+def _event_line(event) -> str:
+    """One lifecycle event as a compact JSON line."""
+
+    return json.dumps(
+        {
+            "op": "event",
+            "kind": event.kind,
+            "job_id": event.job_id,
+            "tenant": event.tenant,
+            "timestamp": event.timestamp,
+            "payload": event.payload,
+        },
+        sort_keys=True,
+    )
+
+
+def _result_summary(result) -> dict:
+    """The compact end-of-job summary the server and demo both print."""
+
+    return {
+        "op": "result",
+        "backend": result.backend,
+        "circuit": result.circuit_name,
+        "counts": result.counts,
+        "expectations": result.expectations,
+        "cache_hit": result.metadata.get("serve", {}).get("cache_hit", False),
+        "resumed": result.metadata.get("serve", {}).get("resumed", False),
+    }
+
+
+async def _run_demo(num_qubits: int) -> None:
+    """The in-process workload behind ``python -m repro.serve demo``."""
+
+    service = SimulationService(ServiceConfig(progress_interval=2))
+    await service.start()
+    try:
+        service.register_tenant("alice", weight=2)
+        service.register_tenant("bob", weight=1)
+        service.register_tenant("carol", weight=1)
+        jobs = []
+        for tenant, family in (
+            ("alice", "ghz"),
+            ("alice", "qft"),
+            ("bob", "layers"),
+            ("carol", "grover"),
+        ):
+            jobs.append(
+                service.submit(
+                    build_circuit(family, num_qubits),
+                    tenant=tenant,
+                    shots=128,
+                    seed=7,
+                )
+            )
+        # A repeat of the first request: answered from the cache.
+        jobs.append(
+            service.submit(
+                build_circuit("ghz", num_qubits), tenant="bob", shots=128, seed=7
+            )
+        )
+        # Suspend the qft job at its first progress event, then resume it.
+        target = jobs[1]
+        async for event in target.events.stream():
+            if event.kind == "progress" and service.suspend(target.id):
+                break
+            if event.kind in ("completed", "failed", "cancelled"):
+                break
+        while target.state == "running":
+            await asyncio.sleep(0)
+        if target.state == "suspended":
+            print(f"suspended {target.id} at gate {target.gates_done}")
+            service.resume(target.id)
+        for job in jobs:
+            result = await job
+            print(json.dumps(_result_summary(result), sort_keys=True))
+        print("dispatch order:", " ".join(service.dispatch_order()))
+        print(json.dumps({"op": "stats", **service.stats()}, sort_keys=True))
+    finally:
+        await service.close()
+
+
+async def _handle_client(
+    service: SimulationService,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    """Serve one TCP client: JSON request lines in, JSON event lines out."""
+
+    try:
+        while True:
+            line = await reader.readline()
+            if not line:
+                return
+            try:
+                request = json.loads(line)
+            except json.JSONDecodeError as error:
+                writer.write(
+                    (json.dumps({"op": "error", "message": str(error)}) + "\n").encode()
+                )
+                await writer.drain()
+                continue
+            op = request.get("op", "submit")
+            if op == "stats":
+                writer.write((json.dumps(service.stats(), sort_keys=True) + "\n").encode())
+                await writer.drain()
+                continue
+            try:
+                circuit = build_circuit(
+                    request.get("family", "ghz"), int(request.get("qubits", 4))
+                )
+                job = service.submit(
+                    circuit,
+                    tenant=str(request.get("tenant", "default")),
+                    shots=int(request.get("shots", 0)),
+                    seed=request.get("seed"),
+                    priority=int(request.get("priority", 0)),
+                )
+            except Exception as error:  # repro-lint: disable=error-taxonomy -- reported to the remote client as a typed error line
+                writer.write(
+                    (
+                        json.dumps(
+                            {"op": "error", "type": type(error).__name__, "message": str(error)}
+                        )
+                        + "\n"
+                    ).encode()
+                )
+                await writer.drain()
+                continue
+            async for event in job.events.stream():
+                writer.write((_event_line(event) + "\n").encode())
+                await writer.drain()
+            if job.state == "completed":
+                writer.write(
+                    (json.dumps(_result_summary(job.result()), sort_keys=True) + "\n").encode()
+                )
+                await writer.drain()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+
+
+async def _run_server(host: str, port: int) -> None:
+    """Run the JSON-lines TCP server until interrupted."""
+
+    service = SimulationService(ServiceConfig(progress_interval=4))
+    await service.start()
+    server = await asyncio.start_server(
+        lambda r, w: _handle_client(service, r, w), host, port
+    )
+    addresses = ", ".join(
+        f"{sock.getsockname()[0]}:{sock.getsockname()[1]}" for sock in server.sockets
+    )
+    print(f"repro.serve listening on {addresses}")
+    try:
+        async with server:
+            await server.serve_forever()
+    finally:
+        await service.close()
+
+
+async def _run_client(host: str, port: int, request: dict) -> None:
+    """Send one request line and echo the reply stream."""
+
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write((json.dumps(request) + "\n").encode())
+        await writer.drain()
+        while True:
+            line = await reader.readline()
+            if not line:
+                return
+            reply = json.loads(line)
+            print(json.dumps(reply, sort_keys=True))
+            if reply.get("op") in ("result", "error"):
+                return
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Local simulation-service demo, server and client.",
+    )
+    sub = parser.add_subparsers(dest="command")
+    demo = sub.add_parser("demo", help="run the in-process demo workload")
+    demo.add_argument("--qubits", type=int, default=6)
+    serve = sub.add_parser("serve", help="run the JSON-lines TCP server")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8642)
+    client = sub.add_parser("client", help="submit one request to a server")
+    client.add_argument("--host", default="127.0.0.1")
+    client.add_argument("--port", type=int, default=8642)
+    client.add_argument("--family", default="ghz", choices=sorted(CIRCUIT_FAMILIES))
+    client.add_argument("--qubits", type=int, default=4)
+    client.add_argument("--tenant", default="default")
+    client.add_argument("--shots", type=int, default=100)
+    client.add_argument("--seed", type=int, default=None)
+    options = parser.parse_args(argv)
+    command = options.command or "demo"
+    if command == "demo":
+        asyncio.run(_run_demo(getattr(options, "qubits", 6)))
+    elif command == "serve":
+        asyncio.run(_run_server(options.host, options.port))
+    else:
+        asyncio.run(
+            _run_client(
+                options.host,
+                options.port,
+                {
+                    "op": "submit",
+                    "family": options.family,
+                    "qubits": options.qubits,
+                    "tenant": options.tenant,
+                    "shots": options.shots,
+                    "seed": options.seed,
+                },
+            )
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,7 +9,14 @@ established in :mod:`repro.core.procpool`:
   assigned to ``self.<attr>`` in a class that defines ``close()`` or
   ``__exit__`` — or **transferred** (directly returned), or created under a
   ``try/finally`` that closes it;
-* every ``open(...)`` is a ``with`` context manager.
+* every ``open(...)`` is a ``with`` context manager;
+* every asyncio task is **held**: a ``create_task(...)`` /
+  ``ensure_future(...)`` whose return value is discarded is a lost task —
+  the event loop keeps only a weak reference, so the task can be
+  garbage-collected mid-flight and its exception is silently dropped
+  (:mod:`repro.serve` stores its workers precisely to keep its
+  zero-leaked-tasks close contract checkable).  ``TaskGroup`` receivers
+  (``tg`` / ``group`` / ``task_group``) own their tasks and are exempt.
 
 This rule enforces exactly that, statically.
 """
@@ -34,16 +41,46 @@ def _call_name(node: ast.Call) -> str | None:
     return None
 
 
+#: Spawning call names whose return value must not be discarded.
+_TASK_SPAWNERS = frozenset({"create_task", "ensure_future"})
+
+#: Receiver names that look like an ``asyncio.TaskGroup`` — groups keep a
+#: strong reference to (and await) every task they spawn, so a discarded
+#: ``tg.create_task(...)`` is not lost.
+_TASKGROUP_RECEIVERS = frozenset({"tg", "group", "task_group", "taskgroup"})
+
+
+def _is_lost_task_call(node: ast.Call) -> bool:
+    """Whether *node* spawns an asyncio task outside a TaskGroup."""
+
+    if _call_name(node) not in _TASK_SPAWNERS:
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        if func.value.id in _TASKGROUP_RECEIVERS:
+            return False
+    return True
+
+
 class _FunctionScanner(ast.NodeVisitor):
     """Collect resource-creation sites within one function (or module) body."""
 
     def __init__(self) -> None:
         self.open_calls: list[ast.Call] = []
         self.shm_calls: list[ast.Call] = []
+        self.lost_task_calls: list[ast.Call] = []
         self.with_items: set[int] = set()
         self.returned: set[int] = set()
         self.self_assigned: set[int] = set()
         self.has_finally_close = False
+
+    def visit_Expr(self, node: ast.Expr) -> None:
+        # A task-spawning call as a bare expression statement discards the
+        # only strong reference to the task.  ``await create_task(...)``
+        # wraps the call in ast.Await and is therefore not a bare Call here.
+        if isinstance(node.value, ast.Call) and _is_lost_task_call(node.value):
+            self.lost_task_calls.append(node.value)
+        self.generic_visit(node)
 
     def visit_With(self, node: ast.With) -> None:
         for item in node.items:
@@ -107,10 +144,13 @@ def _class_has_teardown(cls: ast.ClassDef) -> bool:
 
 @rule
 class ResourceHygieneRule(LintRule):
-    """Flag SharedMemory/file handles that no close path can reach."""
+    """Flag SharedMemory/file handles and asyncio tasks that can leak."""
 
     id = "resource-hygiene"
-    summary = "SharedMemory/open() handles closed via with, finally, or owner close()"
+    summary = (
+        "SharedMemory/open() handles closed via with, finally, or owner "
+        "close(); asyncio tasks stored, not spawned-and-discarded"
+    )
 
     def check_module(self, ctx: ModuleContext):
         """Flag open()/SharedMemory acquisitions with no deterministic release."""
@@ -171,4 +211,14 @@ class ResourceHygieneRule(LintRule):
                 "SharedMemory segment with no reachable close: assign it to "
                 "self in a class defining close()/__exit__, close it in a "
                 "finally, or return it to a caller that does",
+            )
+        for call in scanner.lost_task_calls:
+            yield ctx.diagnostic(
+                self.id,
+                call,
+                "asyncio task spawned and discarded: the loop holds only a "
+                "weak reference, so the task can be garbage-collected "
+                "mid-flight and its exception silently dropped; store the "
+                "returned task (and await or cancel it at teardown) or "
+                "spawn it through an asyncio.TaskGroup",
             )

@@ -1,0 +1,84 @@
+"""CI entry point for the deterministic serve soak.
+
+Runs the scripted multi-tenant soak from :mod:`tests.serve_harness` at full
+CI scale (500 jobs across 4 weighted tenants, one injected worker kill
+recovered mid-run), verifies every contract the harness asserts, writes the
+JSON summary for trend ingestion and exits non-zero when any contract is
+broken — this script is the gate, ``benchmarks/trend.py --serve`` is the
+history.
+
+Usage::
+
+    PYTHONPATH=src python tests/run_serve_soak.py --out serve-soak.json
+    PYTHONPATH=src python tests/run_serve_soak.py --jobs 120   # local smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from serve_harness import run_soak  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--jobs", type=int, default=500, help="total jobs across all tenants"
+    )
+    parser.add_argument(
+        "--kill-after",
+        type=int,
+        default=10,
+        help="pool tasks before the injected worker kill fires",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the JSON summary here (stdout gets it either way)",
+    )
+    args = parser.parse_args(argv)
+
+    summary = run_soak(num_jobs=args.jobs, kill_after=args.kill_after)
+    payload = json.dumps(summary, sort_keys=True)
+    print(payload)
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(payload + "\n")
+
+    failures = []
+    if not summary["fairness_ok"]:
+        failures.append("dispatch prefix diverged from the analytic DRR schedule")
+    if not summary["starvation_ok"]:
+        failures.append(f"starvation gap exceeded bound: {summary['starvation_gaps']}")
+    if summary["recoveries"] < 1:
+        failures.append("injected worker kill was never recovered")
+    if summary["bit_identity_mismatches"]:
+        failures.append(
+            f"{summary['bit_identity_mismatches']} cached result(s) "
+            "diverged from their cold-run counterparts"
+        )
+    if summary["cache"]["hits"] == 0:
+        failures.append("result cache never hit")
+    if failures:
+        for message in failures:
+            print(f"serve-soak: FAIL: {message}", file=sys.stderr)
+        return 1
+    print(
+        f"serve-soak: OK: {summary['jobs']} jobs, "
+        f"{summary['recoveries']} recovery(ies), "
+        f"{summary['cache']['hits']} cache hit(s), "
+        f"{summary['bit_identity_checked']} result(s) bit-verified "
+        f"in {summary['duration_seconds']:.2f}s"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

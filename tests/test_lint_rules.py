@@ -361,6 +361,45 @@ class TestResourceHygiene:
         )
         assert report.diagnostics == []
 
+    def test_flags_lost_asyncio_task(self):
+        # A bare create_task/ensure_future expression discards the only
+        # strong reference: the loop may garbage-collect the task mid-flight.
+        report = run(
+            """\
+            import asyncio
+
+            async def fire_and_forget(coro, loop):
+                asyncio.create_task(coro)
+                asyncio.ensure_future(coro, loop=loop)
+            """,
+            "resource-hygiene",
+        )
+        assert len(report.diagnostics) == 2
+        assert all("task spawned and discarded" in m for m in messages(report))
+
+    def test_held_awaited_and_taskgroup_tasks_are_clean(self):
+        report = run(
+            """\
+            import asyncio
+
+            class Service:
+                def start(self):
+                    self._worker = asyncio.create_task(self._run())
+
+                def close(self):
+                    self._worker.cancel()
+
+            async def run_all(coros):
+                tasks = [asyncio.create_task(c) for c in coros]
+                await asyncio.create_task(coros[0])
+                async with asyncio.TaskGroup() as tg:
+                    tg.create_task(coros[1])
+                return tasks
+            """,
+            "resource-hygiene",
+        )
+        assert report.diagnostics == []
+
 
 # ---------------------------------------------------------------------------
 # njit-purity

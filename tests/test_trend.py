@@ -144,6 +144,76 @@ class TestCompare:
         assert trend.compare(current, baseline, 0.30) == []
 
 
+def _soak_summary(**overrides) -> dict:
+    summary = {
+        "kind": "serve",
+        "jobs": 120,
+        "tenants": {"t0": 1, "t1": 2, "t2": 3, "t3": 4},
+        "fairness_rounds_checked": 7,
+        "fairness_ok": True,
+        "starvation_gaps": {"t0": 9, "t1": 7, "t2": 5, "t3": 3},
+        "starvation_ok": True,
+        "recoveries": 1,
+        "bit_identity_checked": 120,
+        "bit_identity_mismatches": 0,
+        "cache": {"entries": 34, "max_entries": 256, "hits": 86, "misses": 34, "evictions": 0},
+        "dispatched": 120,
+        "duration_seconds": 1.5,
+    }
+    summary.update(overrides)
+    return summary
+
+
+class TestServeRecord:
+    def test_distills_soak_summary(self):
+        record = trend.serve_record(_soak_summary(), commit="abc1234", timestamp="t")
+        assert record["kind"] == "serve"
+        assert record["schema"] == 1
+        assert record["jobs"] == 120
+        assert record["fairness_ok"] is True
+        assert record["recoveries"] == 1
+        assert record["bit_identity_mismatches"] == 0
+        assert record["cache_hit_rate"] == pytest.approx(86 / 120)
+        assert record["duration_seconds"] == 1.5
+
+    def test_empty_cache_yields_no_hit_rate(self):
+        record = trend.serve_record(
+            _soak_summary(cache={"hits": 0, "misses": 0}), commit="x", timestamp="t"
+        )
+        assert record["cache_hit_rate"] is None
+
+    def test_serve_records_never_match_codec_baselines(self):
+        # Serve records share TREND.jsonl with codec records; they must
+        # never be picked up as a codec throughput baseline.
+        serve = trend.serve_record(_soak_summary(), commit="s", timestamp="t")
+        assert trend.find_baseline([serve], _record()) is None
+
+    def test_main_serve_appends_record(self, tmp_path, capsys):
+        summary_path = tmp_path / "serve-soak.json"
+        summary_path.write_text(json.dumps(_soak_summary()))
+        trend_path = tmp_path / "TREND.jsonl"
+        code = trend.main(
+            ["--serve", str(summary_path), "--trend", str(trend_path)]
+        )
+        assert code == 0
+        entries = trend.load_trend(trend_path)
+        assert len(entries) == 1
+        assert entries[0]["kind"] == "serve"
+        assert "serve soak" in capsys.readouterr().out
+
+    def test_main_serve_missing_summary_is_an_error(self, tmp_path, capsys):
+        code = trend.main(
+            [
+                "--serve",
+                str(tmp_path / "missing.json"),
+                "--trend",
+                str(tmp_path / "TREND.jsonl"),
+            ]
+        )
+        assert code == 2
+        assert "no serve-soak summary" in capsys.readouterr().err
+
+
 class TestMain:
     def _run(self, tmp_path: Path, payload: dict, argv: list[str] = ()) -> int:
         results = tmp_path / "BENCH_codec.json"
